@@ -1,0 +1,24 @@
+"""Benchmark-suite configuration.
+
+Two kinds of benchmarks live here:
+
+- ``test_bench_figure*.py``: regenerate a paper figure end-to-end and
+  assert its shape checks.  The *benchmark* clock measures the wall time
+  of the whole reproduction (the simulator's throughput on this machine);
+  the paper-facing numbers are simulated-time and are printed/asserted
+  inside.  One round each -- these are reproductions, not microbenchmarks.
+- ``test_bench_micro.py`` / ``test_bench_ablations.py``: engine and
+  data-structure throughput, and design-choice ablations from DESIGN.md.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run the target exactly once under the benchmark clock."""
+
+    def runner(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,11 @@
+"""Bench target for the extension experiments (E1 UD scaling, E2 codecs)."""
+
+from repro.experiments import extensions
+
+
+def test_bench_extensions(once):
+    report = once(extensions.run)
+    print()
+    print(report.render())
+    failures = [(c, d) for c, ok, d in report.checks if not ok]
+    assert not failures, failures

@@ -1,0 +1,20 @@
+"""Bench target for Figure 3: Set/Get latency sweeps on Cluster A.
+
+Regenerates all four panels at full sample counts and asserts every
+shape claim.  Prints the tables so ``pytest benchmarks/ -s`` shows the
+same rows the paper plots.
+"""
+
+from repro.experiments import figure3
+
+
+def test_bench_figure3(once):
+    report = once(figure3.run)
+    print()
+    print(report.render())
+    failures = [(c, d) for c, ok, d in report.checks if not ok]
+    assert not failures, failures
+
+    # Headline row (paper abstract): 4KB Get ~20 µs on DDR.
+    ucr = next(s for s in report.panels["(c) Get - small"] if s.label == "UCR-IB")
+    assert 12.0 <= ucr.value_at(4096) <= 28.0

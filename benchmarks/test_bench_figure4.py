@@ -1,0 +1,15 @@
+"""Bench target for Figure 4: Set/Get latency sweeps on Cluster B (QDR)."""
+
+from repro.experiments import figure4
+
+
+def test_bench_figure4(once):
+    report = once(figure4.run)
+    print()
+    print(report.render())
+    failures = [(c, d) for c, ok, d in report.checks if not ok]
+    assert not failures, failures
+
+    # Headline row (paper abstract): 4KB Get ~12 µs on QDR.
+    ucr = next(s for s in report.panels["(c) Get - small"] if s.label == "UCR-IB")
+    assert 8.0 <= ucr.value_at(4096) <= 16.0

@@ -1,0 +1,12 @@
+"""Bench target for Figure 5: mixed-workload latency on both clusters."""
+
+from repro.experiments import figure5
+
+
+def test_bench_figure5(once):
+    report = once(figure5.run)
+    print()
+    print(report.render())
+    failures = [(c, d) for c, ok, d in report.checks if not ok]
+    assert not failures, failures
+    assert len(report.panels) == 4

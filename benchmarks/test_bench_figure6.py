@@ -1,0 +1,21 @@
+"""Bench target for Figure 6: multi-client Get throughput (TPS)."""
+
+from repro.experiments import figure6
+
+
+def test_bench_figure6(once):
+    report = once(figure6.run)
+    print()
+    print(report.render())
+    failures = [(c, d) for c, ok, d in report.checks if not ok]
+    assert not failures, failures
+
+    # Headline: ~6x over the best sockets option at 4B/16 clients on A,
+    # and the paper's ~1.8M ops/s regime on QDR.
+    a4 = {s.label: s for s in report.panels["(a) 4 byte - Cluster A"]}
+    others = max(
+        a4[label].value_at(16) for label in a4 if label != "UCR-IB"
+    )
+    assert a4["UCR-IB"].value_at(16) / others >= 4.5
+    b4 = {s.label: s for s in report.panels["(c) 4 byte - Cluster B"]}
+    assert b4["UCR-IB"].value_at(16) >= 1_200_000

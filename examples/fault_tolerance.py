@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""The data-center failure model (paper §IV-A) in action.
+
+"In MPI or PGAS, when a process belonging to a job unexpectedly fails,
+the entire job fails.  However, in the data-center domain, failure of
+one Memcached server or client must be tolerated."
+
+This example runs two clients against one server, then injects a
+failure into one client's endpoint mid-run.  The failed client's
+operation trips the UCR wait-with-timeout, converts it into a
+ServerDown error, and -- because UCR endpoints fail independently -- the
+other client never notices.  Finally the failed client reconnects and
+carries on.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro.cluster import CLUSTER_B, Cluster
+from repro.memcached.errors import ServerDownError
+
+
+def main() -> None:
+    cluster = Cluster(CLUSTER_B, n_client_nodes=2)
+    cluster.start_server()
+    sim = cluster.sim
+
+    victim = cluster.client("UCR-IB", client_node=0, timeout_us=5_000.0)
+    healthy = cluster.client("UCR-IB", client_node=1)
+    log = []
+
+    def victim_proc():
+        yield from victim.set("victim-key", b"before-failure")
+        got = yield from victim.get("victim-key")
+        log.append(f"[victim ] normal get: {got!r}")
+
+        # Sabotage: fail the endpoint under the client (models the peer
+        # stopping mid-request; the pending wait must time out, not hang).
+        ep = victim.transport._endpoints["server"]
+        original_send = ep.send_message
+
+        def black_hole(*args, **kwargs):
+            ep.qp.to_error()  # requests silently die from here on
+            yield from original_send(*args, **kwargs)
+
+        ep.send_message = black_hole
+        try:
+            yield from victim.get("victim-key")
+            log.append("[victim ] UNEXPECTED: request succeeded")
+        except ServerDownError as exc:
+            log.append(f"[victim ] declared server dead after timeout: {type(exc).__name__}")
+
+        # Corrective action: reconnect (the transport dropped the dead
+        # endpoint) and resume.
+        got = yield from victim.get("victim-key")
+        log.append(f"[victim ] after reconnect: {got!r}")
+
+    def healthy_proc():
+        yield from healthy.set("healthy-key", b"steady")
+        for i in range(40):
+            got = yield from healthy.get("healthy-key")
+            assert got == b"steady"
+            yield sim.timeout(200.0)
+        log.append("[healthy] 40 operations, zero errors, never noticed")
+
+    v = sim.process(victim_proc())
+    h = sim.process(healthy_proc())
+    sim.run()
+    assert v.processed and h.processed
+    for line in log:
+        print(line)
+    print(f"\nsimulated time: {sim.now / 1000:.1f} ms -- one endpoint died, "
+          "the runtime and its sibling kept going")
+
+
+if __name__ == "__main__":
+    main()

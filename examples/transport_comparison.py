@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Sweep Get latency across every transport and message size (Cluster A).
+
+A compact version of the paper's Figure 3(c)/(d), driven entirely
+through the public API -- useful as a template for custom sweeps.
+
+Run:  python examples/transport_comparison.py
+"""
+
+from repro.analysis import FigureSeries, format_latency_table
+from repro.cluster import CLUSTER_A, Cluster
+from repro.workloads import GET_ONLY, MemslapRunner
+
+SIZES = [16, 256, 4096, 65536, 512 * 1024]
+
+
+def main() -> None:
+    cluster = Cluster(CLUSTER_A, n_client_nodes=1)
+    cluster.start_server()
+
+    series = []
+    for transport in cluster.spec.transports:
+        s = FigureSeries(label=transport)
+        for size in SIZES:
+            result = MemslapRunner(
+                cluster,
+                transport,
+                value_size=size,
+                pattern=GET_ONLY,
+                n_clients=1,
+                n_ops_per_client=25,
+            ).run()
+            s.add(size, result.get_latency.median())
+        series.append(s)
+
+    print(format_latency_table("Get latency by transport (Cluster A)", SIZES, series))
+
+    ucr = next(s for s in series if s.label == "UCR-IB")
+    print("\nSpeedup of UCR-IB over each sockets transport:")
+    for s in series:
+        if s.label == "UCR-IB":
+            continue
+        ratios = [s.value_at(x) / ucr.value_at(x) for x in SIZES]
+        print(f"  {s.label:>12}: " + "  ".join(f"{r:4.1f}x" for r in ratios))
+
+
+if __name__ == "__main__":
+    main()

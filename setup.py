@@ -1,0 +1,10 @@
+"""Compatibility shim for environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml (PEP 621); this file only enables
+``pip install -e . --no-use-pep517`` on offline machines where pip's
+build isolation cannot fetch build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

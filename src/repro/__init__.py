@@ -1,0 +1,55 @@
+"""repro: Memcached on RDMA-capable interconnects (ICPP 2011), in Python.
+
+A complete, laptop-runnable reproduction of Jose et al., *"Memcached
+Design on High Performance RDMA Capable Interconnects"* (ICPP 2011):
+the UCR active-message runtime, an RDMA-capable memcached server and
+client, all four baseline socket transports, and the paper's full
+evaluation -- on a deterministic discrete-event fabric simulator.
+
+Layer map (bottom up):
+
+- :mod:`repro.sim` -- discrete-event engine (µs virtual clock).
+- :mod:`repro.fabric` -- NICs, links, switch, host cost models.
+- :mod:`repro.verbs` -- InfiniBand verbs (QPs, CQs, MRs, RDMA, CM).
+- :mod:`repro.sockets` -- byte-stream stacks: TCP, TOE, IPoIB, SDP.
+- :mod:`repro.core` -- **UCR**, the paper's contribution (§IV).
+- :mod:`repro.memcached` -- the server + client, dual-mode (§V).
+- :mod:`repro.cluster` -- the paper's Cluster A / Cluster B testbeds.
+- :mod:`repro.workloads` -- memslap-style benchmark driver (§VI).
+- :mod:`repro.experiments` -- Figures 3-6 reproduction harness.
+
+Quickstart::
+
+    from repro.cluster import CLUSTER_B, Cluster
+
+    cluster = Cluster(CLUSTER_B, n_client_nodes=1)
+    cluster.start_server()
+    client = cluster.client("UCR-IB")
+
+    def session():
+        yield from client.set("key", b"value")
+        print((yield from client.get("key")))
+
+    done = cluster.sim.process(session())
+    cluster.sim.run_until_event(done)
+"""
+
+__version__ = "1.0.0"
+
+from repro.cluster import CLUSTER_A, CLUSTER_B, Cluster
+from repro.core import UcrContext, UcrCounter, UcrRuntime
+from repro.memcached import MemcachedClient, MemcachedServer
+from repro.sim import Simulator
+
+__all__ = [
+    "CLUSTER_A",
+    "CLUSTER_B",
+    "Cluster",
+    "MemcachedClient",
+    "MemcachedServer",
+    "Simulator",
+    "UcrContext",
+    "UcrCounter",
+    "UcrRuntime",
+    "__version__",
+]

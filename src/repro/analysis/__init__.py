@@ -1,0 +1,12 @@
+"""Result aggregation and figure/table formatting."""
+
+from repro.analysis.report import FigureSeries, format_latency_table, format_tps_table
+from repro.analysis.stats import ratio, summarize_latencies
+
+__all__ = [
+    "FigureSeries",
+    "format_latency_table",
+    "format_tps_table",
+    "ratio",
+    "summarize_latencies",
+]

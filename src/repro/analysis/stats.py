@@ -1,0 +1,47 @@
+"""Small statistics helpers shared by experiments and tests."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def summarize_latencies(samples: Sequence[float]) -> dict[str, float]:
+    """mean/median/p95/std/jitter for a latency sample set."""
+    if not samples:
+        raise ValueError("no samples")
+    arr = np.asarray(samples, dtype=np.float64)
+    mean = float(arr.mean())
+    return {
+        "mean": mean,
+        "median": float(np.median(arr)),
+        "p95": float(np.percentile(arr, 95)),
+        "std": float(arr.std()),
+        "jitter": float(arr.std() / mean) if mean > 0 else 0.0,
+    }
+
+
+def ratio(baseline: float, candidate: float) -> float:
+    """How many times *candidate* exceeds *baseline* (baseline/candidate
+    for latencies where smaller is better would invert -- this helper is
+    plain division with a zero guard)."""
+    if candidate == 0:
+        raise ZeroDivisionError("candidate is zero")
+    return baseline / candidate
+
+
+def crossover_size(
+    sizes: Sequence[int], a: Sequence[float], b: Sequence[float]
+) -> int | None:
+    """First size where series *a* stops being smaller than *b* (None if
+    the ordering never flips)."""
+    if len(sizes) != len(a) or len(sizes) != len(b):
+        raise ValueError("length mismatch")
+    was_smaller = None
+    for size, va, vb in zip(sizes, a, b):
+        smaller = va < vb
+        if was_smaller is not None and smaller != was_smaller:
+            return size
+        was_smaller = smaller
+    return None

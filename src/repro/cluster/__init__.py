@@ -1,0 +1,17 @@
+"""Cluster configurations matching the paper's two testbeds.
+
+- **Cluster A** (Intel Clovertown): ConnectX **DDR** HCAs plus Chelsio T3
+  **10GigE** TOE NICs -- transports: UCR-IB, SDP, IPoIB, 10GigE-TOE (and
+  1GigE-TCP as an extra commodity reference).
+- **Cluster B** (Intel Westmere): ConnectX **QDR** HCAs -- transports:
+  UCR-IB, SDP (with the QDR jitter artifact the paper reports), IPoIB.
+
+:class:`~repro.cluster.builder.Cluster` assembles the simulator, nodes,
+networks, protocol stacks, one memcached server (dual-mode: all
+transports at once) and per-node clients.
+"""
+
+from repro.cluster.builder import Cluster
+from repro.cluster.configs import CLUSTER_A, CLUSTER_B, ClusterSpec
+
+__all__ = ["CLUSTER_A", "CLUSTER_B", "Cluster", "ClusterSpec"]

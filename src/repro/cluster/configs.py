@@ -1,0 +1,71 @@
+"""Cluster specifications (paper §VI-A)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fabric.params import (
+    ETH_1G,
+    ETH_10G,
+    HOST_CLOVERTOWN,
+    HOST_WESTMERE,
+    IB_DDR,
+    IB_QDR,
+    HostParams,
+    LinkParams,
+)
+from repro.sockets.params import (
+    SDP_BCOPY,
+    SDP_QDR_JITTER,
+    STACK_IPOIB,
+    STACK_TCP_1G,
+    STACK_TOE_10G,
+    StackParams,
+)
+from repro.verbs.params import HCA_CONNECTX_DDR, HCA_CONNECTX_QDR, HcaParams
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Everything needed to instantiate one testbed."""
+
+    name: str
+    host: HostParams
+    #: Link and adapter for the native-verbs (UCR) path.
+    ucr_link: LinkParams
+    hca: HcaParams
+    #: Sockets transports: display name -> (stack cost model, link params).
+    sockets: dict[str, tuple[StackParams, LinkParams]] = field(default_factory=dict)
+
+    @property
+    def transports(self) -> list[str]:
+        """All transport names, UCR first (the paper's ordering)."""
+        return ["UCR-IB"] + list(self.sockets)
+
+
+#: Cluster A: 64 Clovertown nodes, ConnectX DDR + Chelsio 10GigE TOE.
+CLUSTER_A = ClusterSpec(
+    name="A",
+    host=HOST_CLOVERTOWN,
+    ucr_link=IB_DDR,
+    hca=HCA_CONNECTX_DDR,
+    sockets={
+        "SDP": (SDP_BCOPY, IB_DDR),
+        "IPoIB": (STACK_IPOIB, IB_DDR),
+        "10GigE-TOE": (STACK_TOE_10G, ETH_10G),
+        "1GigE-TCP": (STACK_TCP_1G, ETH_1G),
+    },
+)
+
+#: Cluster B: 144 Westmere nodes, ConnectX QDR (no 10GigE cards; paper
+#: §VI-B: "Due to lack of 10GigE cards on this cluster...").
+CLUSTER_B = ClusterSpec(
+    name="B",
+    host=HOST_WESTMERE,
+    ucr_link=IB_QDR,
+    hca=HCA_CONNECTX_QDR,
+    sockets={
+        "SDP": (SDP_QDR_JITTER, IB_QDR),
+        "IPoIB": (STACK_IPOIB, IB_QDR),
+    },
+)

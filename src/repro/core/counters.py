@@ -1,0 +1,100 @@
+"""Active message counters (paper §IV-C).
+
+Counters are monotonically increasing objects used to track message
+progress.  Three roles exist per message, all optional:
+
+``origin_counter``
+    Incremented at the origin when the message's buffers may be reused.
+``target_counter``
+    Incremented at the target when data has arrived and the completion
+    handler has run.  Named across the wire by a small integer id.
+``completion_counter``
+    Incremented at the origin when the *target's* completion handler has
+    finished (requires an internal message unless suppressed by passing
+    ``None``).
+
+The synchronization primitive is :meth:`UcrCounter.wait_for` -- a wait
+with a timeout, because in the data-center model a hung peer must not
+hang the waiter (paper §IV-A).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.errors import UcrTimeout
+from repro.sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Simulator
+
+
+class UcrCounter:
+    """A monotone counter with threshold waiting.
+
+    Created via :meth:`repro.core.runtime.UcrRuntime.create_counter`, which
+    assigns the wire-visible id.
+    """
+
+    def __init__(self, sim: "Simulator", counter_id: int, name: str = "") -> None:
+        self.sim = sim
+        self.counter_id = counter_id
+        self.name = name or f"cntr{counter_id}"
+        self._value = 0
+        #: (threshold, event) pairs waiting for the counter to reach a value.
+        self._waiters: list[tuple[int, Event]] = []
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def add(self, amount: int = 1) -> None:
+        """Increment; wakes every waiter whose threshold is now met."""
+        if amount < 1:
+            raise ValueError("counters only move forward")
+        self._value += amount
+        still_waiting = []
+        for threshold, event in self._waiters:
+            if self._value >= threshold:
+                event.succeed(self._value)
+            else:
+                still_waiting.append((threshold, event))
+        self._waiters = still_waiting
+
+    def reached(self, threshold: int) -> Event:
+        """Event firing when the counter reaches *threshold* (maybe already)."""
+        ev = Event(self.sim, name=f"{self.name}>= {threshold}")
+        if self._value >= threshold:
+            ev.succeed(self._value)
+        else:
+            self._waiters.append((threshold, ev))
+        return ev
+
+    def wait_for(self, threshold: int, timeout_us: Optional[float] = None):
+        """Process helper: block until value >= threshold or raise UcrTimeout.
+
+        Usage::
+
+            yield from counter.wait_for(1, timeout_us=50_000)
+        """
+        target = self.reached(threshold)
+        if timeout_us is None:
+            yield target
+            return self._value
+        timer = self.sim.timeout(timeout_us)
+        fired = yield self.sim.any_of([target, timer])
+        if target not in fired:
+            # Withdraw the stale waiter so a late increment doesn't leak
+            # an event nobody owns.
+            self._waiters = [(t, e) for (t, e) in self._waiters if e is not target]
+            raise UcrTimeout(
+                f"{self.name}: still {self._value} < {threshold} after {timeout_us} µs"
+            )
+        return self._value
+
+    def wait_increment(self, timeout_us: Optional[float] = None):
+        """Process helper: wait for the *next* increment from here."""
+        return self.wait_for(self._value + 1, timeout_us)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<UcrCounter {self.name}={self._value} waiters={len(self._waiters)}>"

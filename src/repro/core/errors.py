@@ -1,0 +1,28 @@
+"""UCR error types.
+
+The design requirement (paper §IV-A) is fault *isolation*: a failing
+endpoint raises these exceptions to its owner and nobody else -- in
+contrast to the MPI model where one failed rank kills the job.
+"""
+
+from __future__ import annotations
+
+
+class UcrError(RuntimeError):
+    """Base class for UCR failures."""
+
+
+class UcrTimeout(UcrError):
+    """A wait-with-timeout expired before the awaited event occurred.
+
+    Memcached reacts to this by declaring the peer dead (client side) or
+    dropping the client (server side); the runtime itself keeps going.
+    """
+
+
+class EndpointClosed(UcrError):
+    """Operation on an endpoint that has failed or been closed."""
+
+
+class FlowControlError(UcrError):
+    """Internal invariant violation in credit accounting (a bug if seen)."""

@@ -1,0 +1,15 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+- :mod:`~repro.experiments.figure3`: Set/Get latency sweeps, Cluster A.
+- :mod:`~repro.experiments.figure4`: Set/Get latency sweeps, Cluster B.
+- :mod:`~repro.experiments.figure5`: mixed-workload latency, A and B.
+- :mod:`~repro.experiments.figure6`: multi-client Get throughput, A and B.
+- :mod:`~repro.experiments.runner`: the ``repro-experiments`` CLI.
+
+Each module exposes ``run(fast=False) -> ExperimentReport``; ``fast``
+shrinks sample counts for CI-speed runs without changing the shapes.
+"""
+
+from repro.experiments.common import ExperimentReport
+
+__all__ = ["ExperimentReport"]

@@ -1,0 +1,99 @@
+"""Figure 4: latency of Set and Get operations on Cluster B (QDR).
+
+Transports: UCR-IB(QDR), SDP, IPoIB.  Headline shapes:
+
+- UCR >= ~10x faster than SDP/IPoIB at small sizes, ~4x+ at large;
+- 4 KB Get over UCR lands near the paper's 12 µs on QDR;
+- SDP shows heavy jitter on QDR (the paper's "implementation artifact"),
+  while IPoIB stays smooth.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_latency_table
+from repro.cluster.configs import CLUSTER_B
+from repro.experiments.common import (
+    LARGE_SIZES,
+    SMALL_SIZES,
+    ExperimentReport,
+    build_cluster,
+    latency_sweep,
+    min_ratio_over_x,
+    series_ratio,
+)
+from repro.workloads.memslap import MemslapRunner
+from repro.workloads.patterns import GET_ONLY, SET_ONLY
+
+TRANSPORTS = ["UCR-IB", "SDP", "IPoIB"]
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Reproduce Figure 4; see the module docstring for the claims."""
+    n_ops = 10 if fast else 30
+    report = ExperimentReport(
+        figure="Figure 4",
+        description="Latency of Set and Get operations on Cluster B (QDR)",
+    )
+    cluster = build_cluster(CLUSTER_B)
+
+    panels = [
+        ("(a) Set - small", SET_ONLY, SMALL_SIZES, "set"),
+        ("(b) Set - large", SET_ONLY, LARGE_SIZES, "set"),
+        ("(c) Get - small", GET_ONLY, SMALL_SIZES, "get"),
+        ("(d) Get - large", GET_ONLY, LARGE_SIZES, "get"),
+    ]
+    for title, pattern, sizes, op in panels:
+        series = latency_sweep(
+            cluster, TRANSPORTS, sizes, pattern, op_filter=op,
+            n_ops=n_ops, collect=report.raw,
+        )
+        report.panels[title] = series
+        report.tables.append(
+            format_latency_table(f"Figure 4 {title} [Cluster B]", sizes, series)
+        )
+
+    get_small = report.panels["(c) Get - small"]
+    ucr_4k = next(s for s in get_small if s.label == "UCR-IB").value_at(4096)
+    report.check(
+        "4KB Get over UCR-IB(QDR) near the paper's ~12 µs",
+        8.0 <= ucr_4k <= 16.0,
+        f"measured {ucr_4k:.1f} µs",
+    )
+    for other in ("SDP", "IPoIB"):
+        r = min(
+            series_ratio(get_small, other, "UCR-IB", x)
+            for x in SMALL_SIZES
+            if x <= 1024
+        )
+        report.check(
+            f"Get small: UCR ~10x faster than {other} at small sizes",
+            r >= 8.0,
+            f"min small-size ratio {r:.1f}x",
+        )
+        r_large = min_ratio_over_x(report.panels["(d) Get - large"], other, "UCR-IB")
+        report.check(
+            f"Get large: UCR at least ~4x faster than {other}",
+            r_large >= 4.0,
+            f"min ratio {r_large:.1f}x",
+        )
+
+    # Jitter: run a dedicated high-sample point per transport.
+    jitter = {}
+    for transport in ("SDP", "IPoIB"):
+        result = MemslapRunner(
+            cluster, transport, value_size=64, pattern=GET_ONLY,
+            n_clients=1, n_ops_per_client=30 if fast else 120,
+        ).run()
+        jitter[transport] = result.latency.jitter()
+        report.raw.append(result)
+    report.check(
+        "SDP on QDR is jittery while IPoIB is smooth (paper §VI-B)",
+        jitter["SDP"] > jitter["IPoIB"] + 0.05,
+        f"cv(SDP)={jitter['SDP']:.3f} vs cv(IPoIB)={jitter['IPoIB']:.3f}",
+    )
+    report.tables.append(
+        "Jitter (coefficient of variation of 64B Get latency, Cluster B)\n"
+        "===============================================================\n"
+        + "\n".join(f"{t:>8}: {v:.3f}" for t, v in jitter.items())
+    )
+    return report

@@ -1,0 +1,87 @@
+"""Figure 5: mixed-workload latency for small messages.
+
+Two instruction mixes (paper §VI-C):
+
+- non-interleaved: 10% Set / 90% Get as "1 Set followed by 9 Gets";
+- interleaved: 50% / 50% as "1 Set followed by 1 Get";
+
+on both clusters, small messages only ("We restrict the presented data
+to small messages due to space limitations").  The shape claim is that
+mixes "follow the same trends as the basic Set and Get operations".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import format_latency_table
+from repro.cluster.configs import CLUSTER_A, CLUSTER_B
+from repro.experiments.common import (
+    SMALL_SIZES,
+    ExperimentReport,
+    build_cluster,
+    latency_sweep,
+    min_ratio_over_x,
+)
+from repro.workloads.patterns import INTERLEAVED_50_50, NON_INTERLEAVED_10_90
+
+PANELS = [
+    ("(a) Non-Interleaved - Cluster A", CLUSTER_A, NON_INTERLEAVED_10_90),
+    ("(b) Non-Interleaved - Cluster B", CLUSTER_B, NON_INTERLEAVED_10_90),
+    ("(c) Interleaved - Cluster A", CLUSTER_A, INTERLEAVED_50_50),
+    ("(d) Interleaved - Cluster B", CLUSTER_B, INTERLEAVED_50_50),
+]
+
+
+def _transports(spec) -> list[str]:
+    return [t for t in spec.transports if t != "1GigE-TCP"]
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Reproduce Figure 5; see the module docstring for the claims."""
+    n_ops = 10 if fast else 40  # multiple of the pattern blocks
+    report = ExperimentReport(
+        figure="Figure 5",
+        description=(
+            "Latency of small messages for non-interleaved (10% set / 90% get) "
+            "and interleaved (50% / 50%) mixes"
+        ),
+    )
+    clusters = {}
+    for title, spec, pattern in PANELS:
+        cluster = clusters.get(spec.name)
+        if cluster is None:
+            cluster = build_cluster(spec)
+            clusters[spec.name] = cluster
+        transports = _transports(spec)
+        series = latency_sweep(
+            cluster, transports, SMALL_SIZES, pattern, op_filter="all",
+            n_ops=n_ops, collect=report.raw,
+        )
+        report.panels[title] = series
+        report.tables.append(
+            format_latency_table(f"Figure 5 {title} ({pattern.name})", SMALL_SIZES, series)
+        )
+
+        # Same trends as the pure workloads: UCR wins by the same factors.
+        if spec.name == "A":
+            r = min_ratio_over_x(series, "10GigE-TOE", "UCR-IB")
+            report.check(
+                f"{title}: UCR >= ~4x over 10GigE-TOE across the mix",
+                r >= 3.5,
+                f"min ratio {r:.1f}x",
+            )
+            for other in ("SDP", "IPoIB"):
+                r = min_ratio_over_x(series, other, "UCR-IB")
+                report.check(
+                    f"{title}: UCR ~7x+ over {other} across the mix",
+                    r >= 4.0,
+                    f"min ratio {r:.1f}x",
+                )
+        else:
+            for other in ("SDP", "IPoIB"):
+                r = min_ratio_over_x(series, other, "UCR-IB")
+                report.check(
+                    f"{title}: UCR ~10x over {other} for small-to-medium mix",
+                    r >= 6.0,
+                    f"min ratio {r:.1f}x",
+                )
+    return report

@@ -1,0 +1,88 @@
+"""The ``repro-experiments`` command-line entry point.
+
+Usage::
+
+    repro-experiments              # every figure, full sample counts
+    repro-experiments --fast      # quick shapes-only pass
+    repro-experiments -f 3 -f 6   # selected figures
+    repro-experiments -o out.md   # also write a markdown report
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments import extensions, figure3, figure4, figure5, figure6
+from repro.experiments.common import ExperimentReport
+
+FIGURES: dict[str, Callable[[bool], ExperimentReport]] = {
+    "3": figure3.run,
+    "4": figure4.run,
+    "5": figure5.run,
+    "6": figure6.run,
+    "ext": extensions.run,
+}
+
+
+def run_figures(names: list[str], fast: bool = False) -> list[ExperimentReport]:
+    """Run the named figures, printing each report; returns them."""
+    reports = []
+    for name in names:
+        runner = FIGURES.get(name)
+        if runner is None:
+            raise KeyError(f"unknown figure {name!r}; have {sorted(FIGURES)}")
+        t0 = time.monotonic()
+        report = runner(fast)
+        elapsed = time.monotonic() - t0
+        print(report.render())
+        print(f"\n(figure {name} reproduced in {elapsed:.1f}s wall clock)\n")
+        reports.append(report)
+    return reports
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the evaluation figures of 'Memcached Design on "
+        "High Performance RDMA Capable Interconnects' (ICPP 2011).",
+    )
+    parser.add_argument(
+        "-f",
+        "--figure",
+        action="append",
+        choices=sorted(FIGURES),
+        help="figure number to run (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="reduced sample counts (CI mode)"
+    )
+    parser.add_argument(
+        "-o", "--output", help="write a markdown report to this path"
+    )
+    args = parser.parse_args(argv)
+
+    names = args.figure or sorted(FIGURES)
+    reports = run_figures(names, fast=args.fast)
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write("# Reproduction results\n\n")
+            for report in reports:
+                fh.write(report.render())
+                fh.write("\n\n")
+        print(f"report written to {args.output}")
+
+    failed = [r.figure for r in reports if not r.all_passed]
+    if failed:
+        print(f"SHAPE CHECK FAILURES in: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    print("all shape checks passed")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

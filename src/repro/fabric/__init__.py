@@ -1,0 +1,40 @@
+"""Physical network fabric models.
+
+This package models the *wire* layer shared by every protocol stack in the
+reproduction: NICs with serializing transmit/receive sides, a single-switch
+topology (the paper's clusters hang all nodes off one DDR/QDR/10GigE
+switch), and calibrated parameter tables for each interconnect generation.
+
+The layering mirrors Figure 1(a) of the paper: everything above this
+package -- kernel TCP, TOE, IPoIB, SDP, and native verbs -- differs only in
+*how* it drives these NICs and how much host CPU/kernel time it burns per
+message.
+"""
+
+from repro.fabric.link import Frame, Nic
+from repro.fabric.params import (
+    ETH_10G,
+    ETH_1G,
+    HOST_CLOVERTOWN,
+    HOST_WESTMERE,
+    IB_DDR,
+    IB_QDR,
+    HostParams,
+    LinkParams,
+)
+from repro.fabric.topology import Network, Node
+
+__all__ = [
+    "ETH_10G",
+    "ETH_1G",
+    "Frame",
+    "HOST_CLOVERTOWN",
+    "HOST_WESTMERE",
+    "HostParams",
+    "IB_DDR",
+    "IB_QDR",
+    "LinkParams",
+    "Network",
+    "Nic",
+    "Node",
+]

@@ -1,0 +1,171 @@
+"""NIC and frame transfer model.
+
+A :class:`Nic` is one port on one node attached to one network.  Its
+transmit side is a capacity-1 resource -- frames queued for transmission
+serialize, which is what creates bandwidth contention when a memcached
+server answers many clients at once.  The receive side charges a small
+per-frame processing cost on a capacity-1 resource, which models incast
+pressure at the server's port without double-counting serialization.
+
+A frame's end-to-end latency is::
+
+    tx queueing + serialization + propagation + switch + rx processing
+
+Payloads ride along as opaque Python objects; the protocol stacks above
+decide what a frame means (an Ethernet packet, an IB message, an RDMA read
+request...).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.sim import Event, Resource
+from repro.sim.trace import Counter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fabric.params import LinkParams
+    from repro.fabric.topology import Node
+    from repro.sim import Simulator
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class Frame:
+    """One unit of transmission on the wire."""
+
+    src: "Nic"
+    dst: "Nic"
+    nbytes: int
+    payload: Any
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Frame #{self.frame_id} {self.src.name}->{self.dst.name} "
+            f"{self.nbytes}B>"
+        )
+
+
+class Nic:
+    """One network port: a serializing transmitter and a receive handler.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    node:
+        The host this NIC is plugged into.
+    params:
+        Link-generation characteristics (:class:`LinkParams`).
+    name:
+        Debug label, conventionally ``"<node>:<network>"``.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        params: "LinkParams",
+        name: str = "nic",
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.params = params
+        self.name = name
+        self.tx = Resource(sim, capacity=1, name=f"{name}.tx")
+        self.rx = Resource(sim, capacity=1, name=f"{name}.rx")
+        #: Installed by the protocol stack bound to this NIC; called with
+        #: each delivered frame.  Exactly one stack owns a NIC.
+        self.rx_handler: Optional[Callable[[Frame], None]] = None
+        #: The owning protocol stack object (Hca or SocketStack); set by
+        #: the owner at bind time.  Stable even when probes wrap
+        #: ``rx_handler`` for instrumentation.
+        self.owner: Any = None
+        self.frames_sent = Counter(sim, f"{name}.frames_sent")
+        self.bytes_sent = Counter(sim, f"{name}.bytes_sent")
+        self.frames_received = Counter(sim, f"{name}.frames_received")
+
+    def install_rx_handler(self, handler: Callable[[Frame], None]) -> None:
+        """Bind the owning protocol stack's receive entry point."""
+        if self.rx_handler is not None:
+            raise RuntimeError(f"{self.name}: rx handler already installed")
+        self.rx_handler = handler
+
+    def send_frame(self, dst: "Nic", nbytes: int, payload: Any) -> Event:
+        """Transmit one frame to *dst*; the event fires at delivery.
+
+        The caller does not need to wait on the returned event -- frames
+        in flight progress on their own -- but stacks that implement
+        back-to-back segmentation (TCP) wait for transmit-side completion
+        via :meth:`send_frame_tx_done`.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative frame size: {nbytes}")
+        if dst is self:
+            raise ValueError(f"{self.name}: loopback frames are not modeled")
+        if dst.params.name != self.params.name:
+            raise ValueError(
+                f"cannot bridge networks: {self.params.name} -> {dst.params.name}"
+            )
+        frame = Frame(src=self, dst=dst, nbytes=nbytes, payload=payload)
+        delivered = self.sim.event(name=f"delivered({frame.frame_id})")
+        self.sim.process(self._transfer(frame, delivered, None), label="xfer")
+        return delivered
+
+    def send_frame_tx_done(self, dst: "Nic", nbytes: int, payload: Any) -> tuple[Event, Event]:
+        """Like :meth:`send_frame` but also returns a transmit-done event.
+
+        Returns ``(tx_done, delivered)``.  ``tx_done`` fires when the local
+        wire is free again (the next segment may start); ``delivered``
+        fires at the receiver.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative frame size: {nbytes}")
+        frame = Frame(src=self, dst=dst, nbytes=nbytes, payload=payload)
+        delivered = self.sim.event(name=f"delivered({frame.frame_id})")
+        tx_done = self.sim.event(name=f"txdone({frame.frame_id})")
+        self.sim.process(self._transfer(frame, delivered, tx_done), label="xfer")
+        return tx_done, delivered
+
+    # -- internals -----------------------------------------------------------
+
+    def _transfer(self, frame: Frame, delivered: Event, tx_done: Optional[Event]):
+        sim = self.sim
+        frame.sent_at = sim.now
+
+        # Serialize on the local wire.
+        req = self.tx.request()
+        yield req
+        yield sim.timeout(self.params.serialization_time(frame.nbytes))
+        self.tx.release(req)
+        self.frames_sent.add()
+        self.bytes_sent.add(frame.nbytes)
+        if tx_done is not None:
+            tx_done.succeed()
+
+        # Fly through the switch.
+        yield sim.timeout(self.params.one_way_delay())
+
+        # Receive-side per-frame processing (incast pressure point).
+        rreq = frame.dst.rx.request()
+        yield rreq
+        yield sim.timeout(frame.dst.params.rx_frame_process_us)
+        frame.dst.rx.release(rreq)
+
+        frame.delivered_at = sim.now
+        frame.dst.frames_received.add()
+        handler = frame.dst.rx_handler
+        if handler is None:
+            delivered.fail(RuntimeError(f"{frame.dst.name}: no rx handler installed"))
+            return
+        handler(frame)
+        delivered.succeed(frame)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Nic {self.name} ({self.params.name})>"

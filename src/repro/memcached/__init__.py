@@ -1,0 +1,60 @@
+"""Memcached: server and client, in both sockets and UCR flavors.
+
+This package reimplements the memcached 1.4-era engine the paper extends
+(server 1.4.x, libmemcached 0.45):
+
+- storage engine: slab allocator (:mod:`~repro.memcached.slabs`),
+  power-of-two chained hash table (:mod:`~repro.memcached.hashtable`),
+  per-class LRU (:mod:`~repro.memcached.lru`), tied together by
+  :class:`~repro.memcached.store.ItemStore` with lazy expiry, CAS,
+  flush_all and eviction accounting;
+- :mod:`~repro.memcached.protocol`: the text protocol with an
+  incremental parser (partial reads, pipelining, noreply);
+- :class:`~repro.memcached.server.MemcachedServer`: libevent-style
+  dispatcher + round-robin worker threads serving socket clients, and --
+  per the paper's §V-A dual-mode design -- the same server object accepts
+  UCR endpoints through :class:`~repro.memcached.server.UcrServerPort`;
+- :class:`~repro.memcached.client.MemcachedClient`: a libmemcached-style
+  API (set/get/mget/incr/decr/delete/cas/stats) over pluggable
+  transports: text-protocol-over-sockets or UCR active messages, with
+  modula or ketama key distribution.
+"""
+
+from repro.memcached.client import (
+    ClientCosts,
+    MemcachedClient,
+    SocketsTransport,
+    UcrTransport,
+    UcrUdTransport,
+)
+from repro.memcached.errors import (
+    ClientError,
+    MemcachedError,
+    NotFoundError,
+    NotStoredError,
+    ServerError,
+)
+from repro.memcached.hashing import KetamaDistribution, ModulaDistribution
+from repro.memcached.items import Item
+from repro.memcached.server import MemcachedServer, UcrServerPort
+from repro.memcached.store import ItemStore, StoreConfig
+
+__all__ = [
+    "ClientCosts",
+    "ClientError",
+    "Item",
+    "ItemStore",
+    "KetamaDistribution",
+    "MemcachedClient",
+    "MemcachedError",
+    "MemcachedServer",
+    "ModulaDistribution",
+    "NotFoundError",
+    "NotStoredError",
+    "ServerError",
+    "SocketsTransport",
+    "StoreConfig",
+    "UcrServerPort",
+    "UcrTransport",
+    "UcrUdTransport",
+]

@@ -1,0 +1,765 @@
+"""The client library: a libmemcached-workalike over two transports.
+
+API shape follows libmemcached 0.45 (the version the paper benchmarks):
+a client owns a server pool, distributes keys via modula or ketama
+hashing, and exposes blocking operations.  All operations are process
+helpers (``yield from client.get(...)``).
+
+Transports:
+
+- :class:`SocketsTransport` -- text protocol over any
+  :class:`~repro.sockets.stack.SocketStack` (IPoIB / SDP / TOE / TCP);
+  the ``MEMCACHED_BEHAVIOR_TCP_NODELAY`` the paper sets is implicit (our
+  stacks never delay small segments).
+- :class:`UcrTransport` -- active messages over a
+  :class:`~repro.core.context.UcrContext`; each request names a client
+  counter, and the client blocks on it **with a timeout**, taking
+  corrective action (declaring the server dead) when it trips -- the
+  paper's §IV-A failure model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.core.errors import EndpointClosed, UcrTimeout
+from repro.memcached import protocol
+from repro.memcached import protocol_binary as binp
+from repro.memcached.errors import (
+    ClientError,
+    ProtocolError,
+    ServerDownError,
+    ServerError,
+)
+from repro.memcached.hashing import KetamaDistribution, ModulaDistribution
+from repro.memcached.server import (
+    MC_REQUEST_HEADER_BYTES,
+    MSG_MC_REQUEST,
+    MSG_MC_RESPONSE,
+    McRequest,
+    McResponse,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.context import UcrContext
+    from repro.core.runtime import UcrRuntime
+    from repro.fabric.topology import Node
+    from repro.sim import Simulator
+    from repro.sockets.stack import SocketStack
+
+
+@dataclass(frozen=True)
+class ClientCosts:
+    """Client-library CPU costs per operation (µs, Clovertown baseline)."""
+
+    key_hash_us: float = 0.40        # server selection hash
+    build_text_us: float = 1.20      # format a text command
+    parse_text_us: float = 1.00      # walk a text response
+    build_ucr_us: float = 1.20       # fill a request struct
+    parse_ucr_us: float = 0.80       # read a response struct
+
+
+DEFAULT_TIMEOUT_US = 1_000_000.0
+
+
+# ---------------------------------------------------------------------------
+# Sockets transport
+# ---------------------------------------------------------------------------
+
+
+class _SocketConn:
+    """One text- or binary-protocol connection to one server."""
+
+    def __init__(
+        self, transport: "SocketsTransport", server: str, port: int, binary: bool = False
+    ) -> None:
+        self.transport = transport
+        self.server = server
+        self.port = port
+        self.sock = transport.stack.socket()
+        self.parser = (
+            binp.BinaryParser() if binary else protocol.ResponseParser()
+        )
+        self.tokens: list = []
+        self.connected = False
+
+    def connect(self):
+        yield from self.sock.connect(self.server, self.port)
+        self.connected = True
+
+    def next_token(self):
+        """Process helper: one reply token (recv-ing as needed)."""
+        while not self.tokens:
+            data = yield from self.sock.recv(65536)
+            if data == b"":
+                raise ServerDownError(f"{self.server}: connection closed")
+            self.tokens.extend(self.parser.feed(data))
+        return self.tokens.pop(0)
+
+    def send(self, payload: bytes):
+        yield from self.sock.send(payload)
+
+
+class SocketsTransport:
+    """Client side of the text protocol over a socket stack."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        stack: "SocketStack",
+        port: int = 11211,
+        costs: ClientCosts = ClientCosts(),
+        binary: bool = False,
+    ) -> None:
+        self.sim = sim
+        self.node = node
+        self.stack = stack
+        self.port = port
+        self.costs = costs
+        #: Speak the binary protocol instead of ASCII (libmemcached's
+        #: MEMCACHED_BEHAVIOR_BINARY_PROTOCOL).
+        self.binary = binary
+        self._conns: dict[str, _SocketConn] = {}
+
+    #: One connection per server: parallel per-server fan-out is safe.
+    supports_concurrency = True
+
+    @property
+    def name(self) -> str:
+        suffix = "-bin" if self.binary else ""
+        return self.stack.params.name + suffix
+
+    def conn(self, server: str):
+        """Process helper: the (lazily connected) connection to *server*."""
+        c = self._conns.get(server)
+        if c is None:
+            c = _SocketConn(self, server, self.port, binary=self.binary)
+            self._conns[server] = c
+        if not c.connected:
+            yield from c.connect()
+        return c
+
+    # binary round trips --------------------------------------------------------
+
+    def bin_roundtrip(self, server: str, payload: bytes):
+        """Send one binary request; return its BinMessage response."""
+        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_ucr_us))
+        c = yield from self.conn(server)
+        yield from c.send(payload)
+        msg = yield from c.next_token()
+        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.parse_ucr_us))
+        return msg
+
+    def bin_stats(self, server: str):
+        """STAT: collect responses until the empty terminator."""
+        c = yield from self.conn(server)
+        yield from c.send(binp.build_stat())
+        stats = {}
+        while True:
+            msg = yield from c.next_token()
+            if not msg.key:
+                return stats
+            stats[msg.key.decode()] = msg.value.decode()
+
+    # one round trip ----------------------------------------------------------
+
+    def simple(self, server: str, payload: bytes):
+        """Send; return the first reply token."""
+        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_text_us))
+        c = yield from self.conn(server)
+        yield from c.send(payload)
+        token = yield from c.next_token()
+        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.parse_text_us))
+        return token
+
+    def values(self, server: str, payload: bytes):
+        """Send; collect ValueReply tokens until END."""
+        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_text_us))
+        c = yield from self.conn(server)
+        yield from c.send(payload)
+        out = []
+        while True:
+            token = yield from c.next_token()
+            if token == "END":
+                break
+            if isinstance(token, protocol.ValueReply):
+                out.append(token)
+            elif isinstance(token, str) and token.startswith(("CLIENT_ERROR", "SERVER_ERROR")):
+                raise ServerError(token)
+            else:
+                raise ProtocolError(f"unexpected token {token!r} in get reply")
+        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.parse_text_us))
+        return out
+
+    def fire(self, server: str, payload: bytes):
+        """Send with no reply expected (noreply)."""
+        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_text_us))
+        c = yield from self.conn(server)
+        yield from c.send(payload)
+
+
+# ---------------------------------------------------------------------------
+# UCR transport
+# ---------------------------------------------------------------------------
+
+
+class UcrTransport:
+    """Client side of the active-message protocol."""
+
+    def __init__(
+        self,
+        context: "UcrContext",
+        service_id: int = 11211,
+        costs: ClientCosts = ClientCosts(),
+        timeout_us: float = DEFAULT_TIMEOUT_US,
+    ) -> None:
+        self.context = context
+        self.runtime = context.runtime
+        self.sim = context.sim
+        self.node = context.node
+        self.service_id = service_id
+        self.costs = costs
+        self.timeout_us = timeout_us
+        #: Per-client response counter ("counter C" of paper §V-B/C);
+        #: concurrent requests (parallel mget) check out extra counters
+        #: from a small pool.
+        self.counter = self.runtime.create_counter("mc-client")
+        self._counter_pool: list = []
+        self._endpoints: dict[str, "object"] = {}
+        self._runtimes: dict[str, "UcrRuntime"] = {}
+        #: In-flight request table: request_id -> (header, payload).
+        self._pending: dict[int, tuple[McResponse, bytes]] = {}
+        self._next_request_id = 1
+        self._register_response_handler()
+
+    #: Parallel mget fan-out is safe: responses route by request id.
+    supports_concurrency = True
+
+    @property
+    def name(self) -> str:
+        return "UCR-IB"
+
+    def _checkout_counter(self):
+        if self._counter_pool:
+            return self._counter_pool.pop()
+        return self.runtime.create_counter("mc-client-extra")
+
+    def _checkin_counter(self, counter) -> None:
+        self._counter_pool.append(counter)
+
+    def add_server(self, name: str, runtime: "UcrRuntime") -> None:
+        """Declare how to reach *name* (its UCR runtime)."""
+        self._runtimes[name] = runtime
+
+    def _register_response_handler(self) -> None:
+        try:
+            self.runtime.register_handler(
+                MSG_MC_RESPONSE, None, _client_response_handler
+            )
+        except ValueError:
+            pass  # another client on this runtime already registered it
+
+    def endpoint(self, server: str):
+        """Process helper: the (lazily established) endpoint to *server*."""
+        ep = self._endpoints.get(server)
+        if ep is not None and not ep.failed:
+            return ep
+        runtime = self._runtimes.get(server)
+        if runtime is None:
+            raise ServerDownError(f"unknown UCR server {server!r}")
+        ep = yield from self.context.connect(
+            runtime, self.service_id, timeout_us=self.timeout_us
+        )
+        ep._mc_response_sink = self._deliver_response
+        self._endpoints[server] = ep
+        return ep
+
+    def _deliver_response(self, header: McResponse, data: bytes) -> None:
+        self._pending[header.request_id] = (header, data)
+
+    def roundtrip(self, server: str, request: McRequest, data: bytes = b""):
+        """Process helper: one request/response over active messages.
+
+        Re-entrant: the server echoes ``request_id`` so concurrent calls
+        (a parallel mget fan-out) route their responses independently.
+        """
+        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_ucr_us))
+        ep = yield from self.endpoint(server)
+        counter = self._checkout_counter()
+        request.counter_id = counter.counter_id
+        request.request_id = self._next_request_id
+        self._next_request_id += 1
+        rid = request.request_id
+        header_bytes = MC_REQUEST_HEADER_BYTES + sum(len(k) for k in request.keys)
+        try:
+            yield from ep.send_message(
+                MSG_MC_REQUEST,
+                header=request,
+                header_bytes=header_bytes,
+                data=data,
+                # Value buffers live in the library's registration cache
+                # (MVAPICH lineage), so large sets go zero-copy.
+                registered_hint=True,
+            )
+            # Block on counter C with a timeout (paper §V-B).
+            yield from counter.wait_increment(timeout_us=self.timeout_us)
+        except (UcrTimeout, EndpointClosed) as exc:
+            # Corrective action: declare the server dead.
+            self._pending.pop(rid, None)
+            if not ep.failed:
+                ep.fail(str(exc))
+            self._endpoints.pop(server, None)
+            raise ServerDownError(f"{server}: {exc}") from exc
+        finally:
+            self._checkin_counter(counter)
+        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.parse_ucr_us))
+        entry = self._pending.pop(rid, None)
+        assert entry is not None, "counter fired before response landed"
+        header, payload = entry
+        if header.status == "error":
+            raise ServerError(header.message)
+        return header, payload
+
+    def fire(self, server: str, request: McRequest, data: bytes = b""):
+        """Send with noreply semantics."""
+        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_ucr_us))
+        ep = yield from self.endpoint(server)
+        request.noreply = True
+        header_bytes = MC_REQUEST_HEADER_BYTES + sum(len(k) for k in request.keys)
+        yield from ep.send_message(
+            MSG_MC_REQUEST, header=request, header_bytes=header_bytes, data=data
+        )
+
+
+class UcrUdTransport(UcrTransport):
+    """Unreliable-datagram client transport (paper §VII future work).
+
+    No per-server RC connection: one local UD queue pair receives every
+    response, and requests address the server's UD QP directly.  Loss is
+    possible (UD drops when the receiver's window is exhausted), so each
+    operation retransmits up to *max_retries* with a short timeout; the
+    server's response cache makes retried operations exactly-once.
+
+    Restrictions inherited from UD: eager messages only, so values must
+    fit under the runtime's eager threshold.
+    """
+
+    def __init__(
+        self,
+        context: "UcrContext",
+        service_id: int = 11211,
+        costs: ClientCosts = ClientCosts(),
+        retry_timeout_us: float = 1_000.0,
+        max_retries: int = 5,
+    ) -> None:
+        super().__init__(context, service_id, costs, retry_timeout_us)
+        self.max_retries = max_retries
+        #: The local UD endpoint responses arrive on.
+        self.local_ud = context.create_ud_endpoint()
+        #: Retransmission bookkeeping is single-flight.
+        self.supports_concurrency = False
+        self._response = None
+        self.local_ud._mc_response_sink = self._deliver_response
+        self._server_uds: dict[str, object] = {}
+        self._next_request_id = 1
+        self._last_request_id = 0
+
+    @property
+    def name(self) -> str:
+        return "UCR-UD"
+
+    def add_ud_server(self, name: str, server_ud_endpoint) -> None:
+        """Register the server's UD endpoint (out-of-band discovery)."""
+        self._server_uds[name] = server_ud_endpoint
+
+    def endpoint(self, server: str):
+        raise NotImplementedError("UD transport is connection-less")
+        yield  # pragma: no cover
+
+    def _deliver_response(self, header: McResponse, data: bytes) -> None:
+        # Discard stale responses from earlier (timed-out) transmissions.
+        if header.request_id and header.request_id != self._last_request_id:
+            return
+        self._response = (header, data)
+
+    def roundtrip(self, server: str, request: McRequest, data: bytes = b""):
+        """One request/response over UD, retransmitting on loss."""
+        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_ucr_us))
+        server_ud = self._server_uds.get(server)
+        if server_ud is None:
+            raise ServerDownError(f"no UD address for server {server!r}")
+        request.counter_id = self.counter.counter_id
+        request.reply_qpn = self.local_ud.qp.qp_num
+        request.request_id = self._next_request_id
+        self._next_request_id += 1
+        self._last_request_id = request.request_id
+        header_bytes = MC_REQUEST_HEADER_BYTES + sum(len(k) for k in request.keys)
+        for attempt in range(self.max_retries + 1):
+            self._response = None
+            yield from self.local_ud.send_message(
+                MSG_MC_REQUEST,
+                header=request,
+                header_bytes=header_bytes,
+                data=data,
+                ud_destination=server_ud.qp,
+            )
+            try:
+                yield from self.counter.wait_increment(timeout_us=self.timeout_us)
+            except UcrTimeout:
+                continue  # lost request or lost response: retransmit
+            if self._response is None:
+                continue  # counter advanced for a stale datagram
+            header, payload = self._response
+            self._response = None
+            yield from self.node.cpu_run(
+                self.node.host.cpu_time(self.costs.parse_ucr_us)
+            )
+            if header.status == "error":
+                raise ServerError(header.message)
+            return header, payload
+        raise ServerDownError(
+            f"{server}: no response after {self.max_retries + 1} attempts"
+        )
+
+    def fire(self, server: str, request: McRequest, data: bytes = b""):
+        """Fire-and-forget over UD (noreply; may be lost)."""
+        server_ud = self._server_uds.get(server)
+        if server_ud is None:
+            raise ServerDownError(f"no UD address for server {server!r}")
+        request.noreply = True
+        yield from self.local_ud.send_message(
+            MSG_MC_REQUEST,
+            header=request,
+            header_bytes=MC_REQUEST_HEADER_BYTES + sum(len(k) for k in request.keys),
+            data=data,
+            ud_destination=server_ud.qp,
+        )
+
+
+def _client_response_handler(ep, header: McResponse, data: bytes):
+    """Runtime-registered completion handler: route to the owning client."""
+    sink = getattr(ep, "_mc_response_sink", None)
+    if sink is not None:
+        sink(header, data)
+    if False:  # pragma: no cover - generator protocol
+        yield
+
+
+# ---------------------------------------------------------------------------
+# The client proper
+# ---------------------------------------------------------------------------
+
+
+class MemcachedClient:
+    """libmemcached-style blocking client over a server pool."""
+
+    def __init__(
+        self,
+        transport,
+        servers: list[str],
+        distribution: str = "modula",
+    ) -> None:
+        self.transport = transport
+        self.sim = transport.sim
+        self.node = transport.node
+        if distribution == "modula":
+            self.distribution = ModulaDistribution(servers)
+        elif distribution == "ketama":
+            self.distribution = KetamaDistribution(servers)
+        else:
+            raise ValueError(f"unknown distribution {distribution!r}")
+        self.ops_issued = 0
+
+    def _pick(self, key: str):
+        """Process helper: hash the key to a server (charged CPU)."""
+        yield from self.node.cpu_run(
+            self.node.host.cpu_time(self.transport.costs.key_hash_us)
+        )
+        self.ops_issued += 1
+        return self.distribution.server_for(key)
+
+    @property
+    def _ucr(self) -> bool:
+        return isinstance(self.transport, UcrTransport)
+
+    @property
+    def _binary(self) -> bool:
+        return getattr(self.transport, "binary", False)
+
+    def _bin_check(self, msg, *extra_ok) -> bool:
+        """True on NO_ERROR; False on the not-found/not-stored family;
+        raises for real errors."""
+        St = binp.Status
+        soft = {St.KEY_NOT_FOUND, St.KEY_EXISTS, St.ITEM_NOT_STORED, *extra_ok}
+        if msg.status == St.NO_ERROR:
+            return True
+        if msg.status in soft:
+            return False
+        if msg.status == St.NON_NUMERIC:
+            raise ClientError("non-numeric value")
+        raise ServerError(f"binary status {msg.status:#06x}")
+
+    # -- storage ------------------------------------------------------------------
+
+    def set(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
+        return self._storage("set", key, value, flags, exptime)
+
+    def add(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
+        return self._storage("add", key, value, flags, exptime)
+
+    def replace(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
+        return self._storage("replace", key, value, flags, exptime)
+
+    def _storage(self, cmd: str, key: str, value: bytes, flags: int, exptime: float):
+        server = yield from self._pick(key)
+        if self._ucr:
+            req = McRequest(op=cmd, keys=[key], flags=flags, exptime=exptime,
+                            value_length=len(value))
+            header, _ = yield from self.transport.roundtrip(server, req, value)
+            return header.status == "stored"
+        if self._binary:
+            opcode = {
+                "set": binp.Opcode.SET,
+                "add": binp.Opcode.ADD,
+                "replace": binp.Opcode.REPLACE,
+            }[cmd]
+            msg = yield from self.transport.bin_roundtrip(
+                server, binp.build_set(key, value, flags, int(exptime), opcode=opcode)
+            )
+            return self._bin_check(msg)
+        token = yield from self.transport.simple(
+            server, protocol.build_storage(cmd, key, flags, exptime, value)
+        )
+        self._raise_on_error(token)
+        return token == "STORED"
+
+    def cas(self, key: str, value: bytes, cas_token: int, flags: int = 0, exptime: float = 0):
+        """Returns 'stored' | 'exists' | 'not_found'."""
+        server = yield from self._pick(key)
+        if self._ucr:
+            req = McRequest(op="cas", keys=[key], flags=flags, exptime=exptime,
+                            cas=cas_token, value_length=len(value))
+            header, _ = yield from self.transport.roundtrip(server, req, value)
+            return header.status
+        if self._binary:
+            msg = yield from self.transport.bin_roundtrip(
+                server,
+                binp.build_set(key, value, flags, int(exptime), cas=cas_token),
+            )
+            St = binp.Status
+            return {
+                St.NO_ERROR: "stored",
+                St.KEY_EXISTS: "exists",
+                St.KEY_NOT_FOUND: "not_found",
+            }.get(msg.status) or self._raise_bin(msg)
+        token = yield from self.transport.simple(
+            server, protocol.build_storage("cas", key, flags, exptime, value, cas=cas_token)
+        )
+        self._raise_on_error(token)
+        return {"STORED": "stored", "EXISTS": "exists", "NOT_FOUND": "not_found"}[token]
+
+    @staticmethod
+    def _raise_bin(msg) -> None:
+        raise ServerError(f"binary status {msg.status:#06x}")
+
+    # -- retrieval ------------------------------------------------------------------
+
+    def get(self, key: str):
+        """Returns the value bytes, or None on miss."""
+        server = yield from self._pick(key)
+        if self._ucr:
+            req = McRequest(op="get", keys=[key])
+            header, payload = yield from self.transport.roundtrip(server, req)
+            if not header.values_meta:
+                return None
+            return payload
+        if self._binary:
+            msg = yield from self.transport.bin_roundtrip(server, binp.build_get(key))
+            if msg.status == binp.Status.KEY_NOT_FOUND:
+                return None
+            self._bin_check(msg)
+            return msg.value
+        replies = yield from self.transport.values(server, protocol.build_get([key]))
+        return replies[0].data if replies else None
+
+    def gets(self, key: str):
+        """Returns (value, cas) or None."""
+        server = yield from self._pick(key)
+        if self._ucr:
+            req = McRequest(op="gets", keys=[key])
+            header, payload = yield from self.transport.roundtrip(server, req)
+            if not header.values_meta:
+                return None
+            _, _, _, cas = header.values_meta[0]
+            return payload, cas
+        if self._binary:
+            msg = yield from self.transport.bin_roundtrip(server, binp.build_get(key))
+            if msg.status == binp.Status.KEY_NOT_FOUND:
+                return None
+            self._bin_check(msg)
+            return msg.value, msg.cas  # binary always carries the cas
+        replies = yield from self.transport.values(
+            server, protocol.build_get([key], with_cas=True)
+        )
+        if not replies:
+            return None
+        return replies[0].data, replies[0].cas
+
+    def get_multi(self, keys: list[str]):
+        """mget: {key: value} for hits, one batched request per server.
+
+        Server groups are fetched **in parallel** when the transport
+        allows it (libmemcached issues all requests before collecting);
+        single-flight transports (UD with retransmission) fall back to
+        sequential groups.
+        """
+        by_server: dict[str, list[str]] = {}
+        for key in keys:
+            server = yield from self._pick(key)
+            by_server.setdefault(server, []).append(key)
+        out: dict[str, bytes] = {}
+        if getattr(self.transport, "supports_concurrency", False) and len(by_server) > 1:
+            fetches = [
+                self.sim.process(self._fetch_group(server, group, out))
+                for server, group in by_server.items()
+            ]
+            for proc in fetches:
+                yield proc
+        else:
+            for server, group in by_server.items():
+                yield from self._fetch_group(server, group, out)
+        return out
+
+    def _fetch_group(self, server: str, group: list[str], out: dict):
+        """Process helper: one server's share of an mget."""
+        if self._ucr:
+            req = McRequest(op="get", keys=group)
+            header, payload = yield from self.transport.roundtrip(server, req)
+            offset = 0
+            for key, flags, length, cas in header.values_meta or []:
+                out[key] = payload[offset : offset + length]
+                offset += length
+        elif self._binary:
+            # No quiet-GETQ pipelining modeled: one GETK per key.
+            for key in group:
+                msg = yield from self.transport.bin_roundtrip(
+                    server, binp.build_get(key)
+                )
+                if msg.status == binp.Status.NO_ERROR:
+                    out[key] = msg.value
+        else:
+            replies = yield from self.transport.values(
+                server, protocol.build_get(group)
+            )
+            for reply in replies:
+                out[reply.key] = reply.data
+
+    # -- mutation -------------------------------------------------------------------
+
+    def delete(self, key: str):
+        """Remove *key*; True if it existed."""
+        server = yield from self._pick(key)
+        if self._ucr:
+            req = McRequest(op="delete", keys=[key])
+            header, _ = yield from self.transport.roundtrip(server, req)
+            return header.status == "deleted"
+        if self._binary:
+            msg = yield from self.transport.bin_roundtrip(server, binp.build_delete(key))
+            return self._bin_check(msg)
+        token = yield from self.transport.simple(server, protocol.build_delete(key))
+        self._raise_on_error(token)
+        return token == "DELETED"
+
+    def incr(self, key: str, delta: int = 1):
+        return self._arith("incr", key, delta)
+
+    def decr(self, key: str, delta: int = 1):
+        return self._arith("decr", key, delta)
+
+    def _arith(self, cmd: str, key: str, delta: int):
+        server = yield from self._pick(key)
+        if self._ucr:
+            req = McRequest(op=cmd, keys=[key], delta=delta)
+            header, _ = yield from self.transport.roundtrip(server, req)
+            return header.number if header.status == "number" else None
+        if self._binary:
+            import struct
+
+            msg = yield from self.transport.bin_roundtrip(
+                server, binp.build_arith(key, delta, decrement=(cmd == "decr"))
+            )
+            if not self._bin_check(msg):
+                return None
+            return struct.unpack("!Q", msg.value)[0]
+        token = yield from self.transport.simple(
+            server, protocol.build_arith(cmd, key, delta)
+        )
+        self._raise_on_error(token)
+        return token if isinstance(token, int) else None
+
+    def touch(self, key: str, exptime: float):
+        """Update *key*'s expiry; True if it existed."""
+        server = yield from self._pick(key)
+        if self._ucr:
+            req = McRequest(op="touch", keys=[key], exptime=exptime)
+            header, _ = yield from self.transport.roundtrip(server, req)
+            return header.status == "touched"
+        if self._binary:
+            msg = yield from self.transport.bin_roundtrip(
+                server, binp.build_touch(key, int(exptime))
+            )
+            return self._bin_check(msg)
+        token = yield from self.transport.simple(
+            server, protocol.build_touch(key, exptime)
+        )
+        self._raise_on_error(token)
+        return token == "TOUCHED"
+
+    # -- admin ----------------------------------------------------------------------
+
+    def flush_all(self, delay: float = 0.0):
+        """Flush every server in the pool."""
+        for server in list(self.distribution.servers):
+            if self._ucr:
+                req = McRequest(op="flush_all", exptime=delay, keys=["-"])
+                yield from self.transport.roundtrip(server, req)
+            elif self._binary:
+                msg = yield from self.transport.bin_roundtrip(server, binp.build_flush())
+                self._bin_check(msg)
+            else:
+                token = yield from self.transport.simple(
+                    server, protocol.build_flush_all(delay)
+                )
+                self._raise_on_error(token)
+
+    def stats(self, server: Optional[str] = None):
+        """Stats from one server (default: the first in the pool)."""
+        target = server or self.distribution.servers[0]
+        if self._ucr:
+            req = McRequest(op="stats", keys=["-"])
+            header, _ = yield from self.transport.roundtrip(target, req)
+            return dict(header.values_meta or [])
+        if self._binary:
+            return (yield from self.transport.bin_stats(target))
+        c = yield from self.transport.conn(target)
+        yield from c.send(protocol.build_stats())
+        stats = {}
+        while True:
+            token = yield from c.next_token()
+            if token == "END":
+                break
+            if isinstance(token, tuple) and token[0] == "STAT":
+                stats[token[1]] = token[2]
+        return stats
+
+    @staticmethod
+    def _raise_on_error(token) -> None:
+        if isinstance(token, str):
+            if token.startswith("CLIENT_ERROR"):
+                raise ClientError(token)
+            if token.startswith("SERVER_ERROR"):
+                raise ServerError(token)
+            if token == "ERROR":
+                raise ProtocolError("server rejected the command")

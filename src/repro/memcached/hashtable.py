@@ -1,0 +1,154 @@
+"""The associative array: chained hashing with incremental expansion.
+
+Mirrors memcached's ``assoc.c``: power-of-two bucket counts, items
+chained through their intrusive ``h_next`` pointer, and -- crucially for
+tail latency -- *incremental* rehashing: when the load factor passes 1.5
+the table doubles, but items migrate a few buckets per operation instead
+of all at once, so no single request eats the full rehash cost.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator, Optional
+
+from repro.memcached.items import Item
+
+#: Initial bucket count (memcached: 2**16 by default; smaller here so the
+#: expansion machinery is exercised by realistic test workloads).
+DEFAULT_POWER = 10
+#: Expand when items > buckets * this.
+LOAD_FACTOR = 1.5
+#: Buckets migrated per operation while expanding.
+MIGRATE_PER_OP = 4
+
+
+def hash_key(key: str) -> int:
+    """Stable 64-bit hash of a key (stand-in for Jenkins/murmur)."""
+    return int.from_bytes(hashlib.md5(key.encode()).digest()[:8], "little")
+
+
+class HashTable:
+    """Open-chaining hash table over intrusive items."""
+
+    def __init__(self, initial_power: int = DEFAULT_POWER) -> None:
+        if not 4 <= initial_power <= 30:
+            raise ValueError("initial_power out of range")
+        self._power = initial_power
+        self._buckets: list[Optional[Item]] = [None] * (1 << initial_power)
+        self._old_buckets: Optional[list[Optional[Item]]] = None
+        self._migrate_pos = 0
+        self.count = 0
+        self.expansions = 0
+
+    @property
+    def buckets(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def expanding(self) -> bool:
+        return self._old_buckets is not None
+
+    # -- public operations -----------------------------------------------------
+
+    def find(self, key: str) -> Optional[Item]:
+        """Look up *key*; None on miss.  Advances migration."""
+        self._migrate_some()
+        h = hash_key(key)
+        for table in self._tables_for(h):
+            cursor = table[self._index(h, table)]
+            while cursor is not None:
+                if cursor.key == key:
+                    return cursor
+                cursor = cursor.h_next
+        return None
+
+    def insert(self, item: Item) -> None:
+        """Insert an item NOT already present (caller ensures uniqueness)."""
+        self._migrate_some()
+        h = hash_key(item.key)
+        idx = self._index(h, self._buckets)
+        item.h_next = self._buckets[idx]
+        self._buckets[idx] = item
+        self.count += 1
+        if not self.expanding and self.count > len(self._buckets) * LOAD_FACTOR:
+            self._start_expansion()
+
+    def remove(self, key: str) -> Optional[Item]:
+        """Unlink and return the item for *key* (None if absent)."""
+        self._migrate_some()
+        h = hash_key(key)
+        for table in self._tables_for(h):
+            idx = self._index(h, table)
+            prev = None
+            cursor = table[idx]
+            while cursor is not None:
+                if cursor.key == key:
+                    if prev is None:
+                        table[idx] = cursor.h_next
+                    else:
+                        prev.h_next = cursor.h_next
+                    cursor.h_next = None
+                    self.count -= 1
+                    return cursor
+                prev, cursor = cursor, cursor.h_next
+        return None
+
+    def items(self) -> Iterator[Item]:
+        """All items (stats/debug; order unspecified)."""
+        tables = [self._buckets]
+        if self._old_buckets is not None:
+            tables.append(self._old_buckets)
+        for table in tables:
+            for head in table:
+                cursor = head
+                while cursor is not None:
+                    yield cursor
+                    cursor = cursor.h_next
+
+    # -- expansion machinery --------------------------------------------------------
+
+    def _start_expansion(self) -> None:
+        self.expansions += 1
+        self._old_buckets = self._buckets
+        self._power += 1
+        self._buckets = [None] * (1 << self._power)
+        self._migrate_pos = 0
+
+    def _migrate_some(self, n: int = MIGRATE_PER_OP) -> None:
+        if self._old_buckets is None:
+            return
+        old = self._old_buckets
+        for _ in range(n):
+            if self._migrate_pos >= len(old):
+                self._old_buckets = None
+                return
+            cursor = old[self._migrate_pos]
+            old[self._migrate_pos] = None
+            while cursor is not None:
+                nxt = cursor.h_next
+                h = hash_key(cursor.key)
+                idx = self._index(h, self._buckets)
+                cursor.h_next = self._buckets[idx]
+                self._buckets[idx] = cursor
+                cursor = nxt
+            self._migrate_pos += 1
+        if self._migrate_pos >= len(old):
+            self._old_buckets = None
+
+    def _tables_for(self, h: int) -> list[list[Optional[Item]]]:
+        """Tables a key may live in during expansion (new first)."""
+        if self._old_buckets is None:
+            return [self._buckets]
+        return [self._buckets, self._old_buckets]
+
+    @staticmethod
+    def _index(h: int, table: list) -> int:
+        return h & (len(table) - 1)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "expanding" if self.expanding else "stable"
+        return f"<HashTable {self.count} items / {self.buckets} buckets ({state})>"

@@ -1,0 +1,98 @@
+"""Items: the unit of storage.
+
+An :class:`Item` mirrors memcached's ``item`` struct: key, client flags,
+expiry, CAS id, and intrusive links for both the hash chain (``h_next``)
+and the per-class LRU (``prev``/``next``).  The value bytes live in the
+slab chunk the item was allocated from, not in the item object -- that
+indirection is what lets the UCR server RDMA-expose values directly from
+registered slab pages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memcached.slabs import SlabChunk
+
+#: Bytes of per-item metadata (struct item + key + CAS), mirroring the
+#: ~50-60 byte overhead of the real implementation; used for slab-class
+#: sizing so our class distribution matches memcached's.
+ITEM_HEADER_OVERHEAD = 56
+
+_cas_ids = itertools.count(1)
+
+
+def next_cas_id() -> int:
+    """Globally unique CAS token (memcached uses a per-process counter)."""
+    return next(_cas_ids)
+
+
+class Item:
+    """One stored key/value pair."""
+
+    __slots__ = (
+        "key",
+        "flags",
+        "exptime",
+        "cas",
+        "value_length",
+        "chunk",
+        "h_next",
+        "prev",
+        "next",
+        "linked",
+        "last_access",
+        "created_at",
+    )
+
+    def __init__(
+        self,
+        key: str,
+        flags: int,
+        exptime: float,
+        value_length: int,
+        chunk: "SlabChunk",
+    ) -> None:
+        self.key = key
+        self.flags = flags
+        #: Absolute expiry in sim-seconds; 0.0 means never.
+        self.exptime = exptime
+        self.cas = next_cas_id()
+        self.value_length = value_length
+        self.chunk = chunk
+        # Intrusive links.
+        self.h_next: Optional["Item"] = None
+        self.prev: Optional["Item"] = None
+        self.next: Optional["Item"] = None
+        self.linked = False
+        self.last_access = 0.0
+        self.created_at = 0.0
+
+    @property
+    def total_bytes(self) -> int:
+        """Footprint used for slab class selection and stats."""
+        return ITEM_HEADER_OVERHEAD + len(self.key) + self.value_length
+
+    def value(self) -> bytes:
+        """Read the value bytes out of the slab chunk."""
+        return self.chunk.read(self.value_length)
+
+    def set_value(self, data: bytes) -> None:
+        """Write value bytes into the slab chunk."""
+        if len(data) > self.chunk.capacity:
+            raise ValueError(
+                f"value of {len(data)} bytes exceeds chunk of {self.chunk.capacity}"
+            )
+        self.chunk.write(data)
+        self.value_length = len(data)
+
+    def is_expired(self, now_seconds: float) -> bool:
+        return self.exptime != 0.0 and now_seconds >= self.exptime
+
+    def bump_cas(self) -> None:
+        self.cas = next_cas_id()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Item {self.key!r} {self.value_length}B cas={self.cas}>"

@@ -1,0 +1,102 @@
+"""Per-slab-class LRU queues (memcached's ``items.c`` tail queues).
+
+Each slab class keeps its own doubly-linked LRU; eviction pressure in one
+size class never evicts items of another (the memcached "calcification"
+behaviour -- reproduced on purpose, it is part of the system the paper
+builds on).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.memcached.items import Item
+
+
+class LruQueue:
+    """One intrusive doubly-linked list, head == most recently used."""
+
+    def __init__(self, class_id: int) -> None:
+        self.class_id = class_id
+        self.head: Optional[Item] = None
+        self.tail: Optional[Item] = None
+        self.size = 0
+
+    def push_head(self, item: Item) -> None:
+        """Link *item* as most recently used."""
+        if item.prev is not None or item.next is not None or item is self.head:
+            raise ValueError(f"{item!r} already linked")
+        item.next = self.head
+        if self.head is not None:
+            self.head.prev = item
+        self.head = item
+        if self.tail is None:
+            self.tail = item
+        self.size += 1
+
+    def unlink(self, item: Item) -> None:
+        """Remove *item* from the queue (must be linked here)."""
+        if item.prev is not None:
+            item.prev.next = item.next
+        else:
+            if self.head is not item:
+                raise ValueError(f"{item!r} not in this queue")
+            self.head = item.next
+        if item.next is not None:
+            item.next.prev = item.prev
+        else:
+            self.tail = item.prev
+        item.prev = item.next = None
+        self.size -= 1
+
+    def touch(self, item: Item) -> None:
+        """Move to head (the item was just accessed)."""
+        if self.head is item:
+            return
+        self.unlink(item)
+        self.push_head(item)
+
+    def coldest(self, max_scan: int = 50) -> Iterator[Item]:
+        """Walk from the tail (eviction candidates), up to *max_scan*."""
+        cursor = self.tail
+        scanned = 0
+        while cursor is not None and scanned < max_scan:
+            yield cursor
+            cursor = cursor.prev
+            scanned += 1
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LruQueue class={self.class_id} size={self.size}>"
+
+
+class LruManager:
+    """The collection of per-class queues."""
+
+    def __init__(self) -> None:
+        self._queues: dict[int, LruQueue] = {}
+
+    def queue(self, class_id: int) -> LruQueue:
+        """The (lazily created) queue for *class_id*."""
+        q = self._queues.get(class_id)
+        if q is None:
+            q = LruQueue(class_id)
+            self._queues[class_id] = q
+        return q
+
+    def link(self, item: Item) -> None:
+        self.queue(item.chunk.slab_class.class_id).push_head(item)
+
+    def unlink(self, item: Item) -> None:
+        self.queue(item.chunk.slab_class.class_id).unlink(item)
+
+    def touch(self, item: Item) -> None:
+        self.queue(item.chunk.slab_class.class_id).touch(item)
+
+    def eviction_candidates(self, class_id: int, max_scan: int = 50) -> Iterator[Item]:
+        return self.queue(class_id).coldest(max_scan)
+
+    def total_items(self) -> int:
+        return sum(len(q) for q in self._queues.values())

@@ -1,0 +1,348 @@
+"""The memcached text protocol.
+
+Implements both directions of the classic ASCII protocol (the one
+libmemcached 0.45 speaks by default): an incremental request parser for
+the server (partial reads, pipelining, the two-phase ``set`` data block),
+response serialization, and the client-side response parser.
+
+This module is pure bytes-in/bytes-out -- it is exactly the
+"byte-stream to memory-object conversion" overhead the paper attributes
+to sockets-based memcached, and the server charges CPU time proportional
+to the work done here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memcached.errors import ProtocolError
+
+CRLF = b"\r\n"
+
+#: Commands followed by a data block of <bytes> + CRLF.
+STORAGE_COMMANDS = frozenset({"set", "add", "replace", "append", "prepend", "cas"})
+#: Single-line retrieval/mutation commands.
+SIMPLE_COMMANDS = frozenset(
+    {"get", "gets", "delete", "incr", "decr", "touch", "stats", "flush_all", "version", "quit"}
+)
+
+
+@dataclass
+class Request:
+    """One parsed client command."""
+
+    command: str
+    keys: list[str] = field(default_factory=list)
+    flags: int = 0
+    exptime: float = 0
+    cas: int = 0
+    delta: int = 0
+    data: bytes = b""
+    noreply: bool = False
+
+    @property
+    def key(self) -> str:
+        return self.keys[0]
+
+
+class RequestParser:
+    """Incremental server-side parser.
+
+    Feed arbitrary byte chunks; collect complete :class:`Request` objects.
+    State machine: a command line, then (for storage commands) a data
+    block of exactly ``<bytes>`` + CRLF.
+    """
+
+    def __init__(self, max_line: int = 2048) -> None:
+        self._buf = bytearray()
+        self._pending: Optional[Request] = None  # awaiting data block
+        self._need = 0
+        self.max_line = max_line
+        self.bytes_consumed = 0
+
+    def feed(self, data: bytes) -> list[Request]:
+        """Append *data*; return every command completed by it."""
+        self._buf.extend(data)
+        self.bytes_consumed += len(data)
+        out: list[Request] = []
+        while True:
+            if self._pending is not None:
+                if len(self._buf) < self._need + 2:
+                    break
+                block = bytes(self._buf[: self._need])
+                terminator = bytes(self._buf[self._need : self._need + 2])
+                del self._buf[: self._need + 2]
+                if terminator != CRLF:
+                    self._pending = None
+                    raise ProtocolError("bad data chunk terminator")
+                req = self._pending
+                self._pending = None
+                req.data = block
+                out.append(req)
+                continue
+            nl = self._buf.find(CRLF)
+            if nl < 0:
+                if len(self._buf) > self.max_line:
+                    raise ProtocolError("command line too long")
+                break
+            line = bytes(self._buf[:nl]).decode("ascii", errors="replace")
+            del self._buf[: nl + 2]
+            req = self._parse_line(line)
+            if req.command in STORAGE_COMMANDS:
+                self._pending = req
+                self._need = req.delta  # reused field: declared byte count
+            else:
+                out.append(req)
+        return out
+
+    def _parse_line(self, line: str) -> Request:
+        parts = line.split()
+        if not parts:
+            raise ProtocolError("empty command line")
+        cmd = parts[0].lower()
+        if cmd in STORAGE_COMMANDS:
+            return self._parse_storage(cmd, parts)
+        if cmd not in SIMPLE_COMMANDS:
+            raise ProtocolError(f"unknown command {cmd!r}")
+        return self._parse_simple(cmd, parts)
+
+    def _parse_storage(self, cmd: str, parts: list[str]) -> Request:
+        want = 6 if cmd == "cas" else 5
+        noreply = False
+        if len(parts) == want + 1 and parts[-1] == "noreply":
+            noreply = True
+            parts = parts[:-1]
+        if len(parts) != want:
+            raise ProtocolError(f"bad {cmd} line")
+        try:
+            flags = int(parts[2])
+            exptime = float(parts[3])
+            nbytes = int(parts[4])
+            cas = int(parts[5]) if cmd == "cas" else 0
+        except ValueError as exc:
+            raise ProtocolError(f"bad {cmd} numeric field") from exc
+        if nbytes < 0:
+            raise ProtocolError("negative byte count")
+        return Request(
+            command=cmd,
+            keys=[parts[1]],
+            flags=flags,
+            exptime=exptime,
+            cas=cas,
+            delta=nbytes,  # stashed until the data block arrives
+            noreply=noreply,
+        )
+
+    def _parse_simple(self, cmd: str, parts: list[str]) -> Request:
+        noreply = parts[-1] == "noreply" and cmd in {"delete", "incr", "decr", "touch", "flush_all"}
+        if noreply:
+            parts = parts[:-1]
+        if cmd in ("get", "gets"):
+            if len(parts) < 2:
+                raise ProtocolError("get requires at least one key")
+            return Request(command=cmd, keys=parts[1:])
+        if cmd in ("incr", "decr"):
+            if len(parts) != 3:
+                raise ProtocolError(f"bad {cmd} line")
+            try:
+                delta = int(parts[2])
+            except ValueError as exc:
+                raise ProtocolError("non-numeric delta") from exc
+            return Request(command=cmd, keys=[parts[1]], delta=delta, noreply=noreply)
+        if cmd == "touch":
+            if len(parts) != 3:
+                raise ProtocolError("bad touch line")
+            return Request(command=cmd, keys=[parts[1]], exptime=float(parts[2]), noreply=noreply)
+        if cmd == "delete":
+            if len(parts) != 2:
+                raise ProtocolError("bad delete line")
+            return Request(command=cmd, keys=[parts[1]], noreply=noreply)
+        if cmd == "flush_all":
+            delay = float(parts[1]) if len(parts) > 1 else 0.0
+            return Request(command=cmd, exptime=delay, noreply=noreply)
+        # stats / version / quit
+        return Request(command=cmd, keys=parts[1:])
+
+
+# ---------------------------------------------------------------------------
+# Response construction (server side)
+# ---------------------------------------------------------------------------
+
+
+def encode_value(key: str, flags: int, data: bytes, cas: Optional[int] = None) -> bytes:
+    """One VALUE block of a get/gets response."""
+    if cas is None:
+        head = f"VALUE {key} {flags} {len(data)}\r\n".encode()
+    else:
+        head = f"VALUE {key} {flags} {len(data)} {cas}\r\n".encode()
+    return head + data + CRLF
+
+
+def encode_end() -> bytes:
+    return b"END\r\n"
+
+def encode_stored() -> bytes:
+    return b"STORED\r\n"
+
+def encode_not_stored() -> bytes:
+    return b"NOT_STORED\r\n"
+
+def encode_exists() -> bytes:
+    return b"EXISTS\r\n"
+
+def encode_not_found() -> bytes:
+    return b"NOT_FOUND\r\n"
+
+def encode_deleted() -> bytes:
+    return b"DELETED\r\n"
+
+def encode_touched() -> bytes:
+    return b"TOUCHED\r\n"
+
+def encode_ok() -> bytes:
+    return b"OK\r\n"
+
+def encode_number(value: int) -> bytes:
+    return f"{value}\r\n".encode()
+
+def encode_error() -> bytes:
+    return b"ERROR\r\n"
+
+def encode_client_error(msg: str) -> bytes:
+    return f"CLIENT_ERROR {msg}\r\n".encode()
+
+def encode_server_error(msg: str) -> bytes:
+    return f"SERVER_ERROR {msg}\r\n".encode()
+
+def encode_version(version: str = "1.4.9-repro") -> bytes:
+    return f"VERSION {version}\r\n".encode()
+
+def encode_stats(stats: dict) -> bytes:
+    lines = b"".join(f"STAT {k} {v}\r\n".encode() for k, v in stats.items())
+    return lines + encode_end()
+
+
+# ---------------------------------------------------------------------------
+# Client-side response parsing
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ValueReply:
+    """One VALUE block parsed from a get/gets response."""
+    key: str
+    flags: int
+    data: bytes
+    cas: Optional[int] = None
+
+
+class ResponseParser:
+    """Incremental client-side parser for one connection."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._pending_value: Optional[ValueReply] = None
+        self._need = 0
+
+    def feed(self, data: bytes) -> list:
+        """Returns a list of reply tokens: str markers, int (for incr/decr
+        and stats values come as ('STAT', k, v)), or ValueReply objects."""
+        self._buf.extend(data)
+        out: list = []
+        while True:
+            if self._pending_value is not None:
+                if len(self._buf) < self._need + 2:
+                    break
+                block = bytes(self._buf[: self._need])
+                del self._buf[: self._need + 2]
+                reply = self._pending_value
+                self._pending_value = None
+                reply.data = block
+                out.append(reply)
+                continue
+            nl = self._buf.find(CRLF)
+            if nl < 0:
+                break
+            line = bytes(self._buf[:nl]).decode("ascii", errors="replace")
+            del self._buf[: nl + 2]
+            token = self._parse_line(line)
+            if isinstance(token, ValueReply):
+                self._pending_value = token
+                continue
+            out.append(token)
+        return out
+
+    def _parse_line(self, line: str):
+        if line.startswith("VALUE "):
+            parts = line.split()
+            if len(parts) not in (4, 5):
+                raise ProtocolError(f"bad VALUE line {line!r}")
+            self._need = int(parts[3])
+            return ValueReply(
+                key=parts[1],
+                flags=int(parts[2]),
+                data=b"",
+                cas=int(parts[4]) if len(parts) == 5 else None,
+            )
+        if line.startswith("STAT "):
+            _, k, v = line.split(" ", 2)
+            return ("STAT", k, v)
+        if line.startswith(("CLIENT_ERROR ", "SERVER_ERROR ", "VERSION ")):
+            return line
+        if line.isdigit():
+            return int(line)
+        if line in (
+            "END", "STORED", "NOT_STORED", "EXISTS", "NOT_FOUND",
+            "DELETED", "TOUCHED", "OK", "ERROR",
+        ):
+            return line
+        raise ProtocolError(f"unrecognized response line {line!r}")
+
+
+# ---------------------------------------------------------------------------
+# Request construction (client side)
+# ---------------------------------------------------------------------------
+
+
+def build_storage(cmd: str, key: str, flags: int, exptime: float, data: bytes,
+                  cas: Optional[int] = None, noreply: bool = False) -> bytes:
+    """Serialize a set/add/replace/append/prepend/cas command."""
+    exp = int(exptime)
+    tail = " noreply" if noreply else ""
+    if cmd == "cas":
+        head = f"cas {key} {flags} {exp} {len(data)} {cas}{tail}\r\n"
+    else:
+        head = f"{cmd} {key} {flags} {exp} {len(data)}{tail}\r\n"
+    return head.encode() + data + CRLF
+
+
+def build_get(keys: list[str], with_cas: bool = False) -> bytes:
+    cmd = "gets" if with_cas else "get"
+    return f"{cmd} {' '.join(keys)}\r\n".encode()
+
+
+def build_delete(key: str, noreply: bool = False) -> bytes:
+    return f"delete {key}{' noreply' if noreply else ''}\r\n".encode()
+
+
+def build_arith(cmd: str, key: str, delta: int, noreply: bool = False) -> bytes:
+    return f"{cmd} {key} {delta}{' noreply' if noreply else ''}\r\n".encode()
+
+
+def build_touch(key: str, exptime: float, noreply: bool = False) -> bytes:
+    return f"touch {key} {int(exptime)}{' noreply' if noreply else ''}\r\n".encode()
+
+
+def build_stats() -> bytes:
+    return b"stats\r\n"
+
+
+def build_flush_all(delay: float = 0.0, noreply: bool = False) -> bytes:
+    if delay:
+        return f"flush_all {int(delay)}{' noreply' if noreply else ''}\r\n".encode()
+    return f"flush_all{' noreply' if noreply else ''}\r\n".encode()
+
+
+def build_version() -> bytes:
+    return b"version\r\n"

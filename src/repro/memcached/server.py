@@ -1,0 +1,655 @@
+"""The memcached server: libevent dispatcher, workers, and the UCR port.
+
+Socket path (stock memcached): a dispatcher thread epoll-waits on the
+listen socket(s), accepts connections and assigns them round-robin to
+worker threads; each worker epoll-waits over its connections, parses the
+text protocol incrementally, executes against the shared
+:class:`~repro.memcached.store.ItemStore` and writes responses.
+
+UCR path (the paper's §V design): :class:`UcrServerPort` attaches a
+:class:`~repro.core.runtime.UcrRuntime` to the *same* server object.  New
+endpoints are assigned round-robin to per-worker UCR contexts.  A Set
+whose value exceeds the eager threshold is two-phase: the header handler
+*reserves* the item so its slab chunk becomes the RDMA READ destination
+(the value lands in the cache with zero intermediate copies), and the
+completion handler links it.  A Get replies over the same endpoint with
+the client's counter named as the response's target counter; large
+values are served zero-copy straight out of registered slab pages.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.memcached.errors import ClientError, ProtocolError, ServerError
+from repro.memcached import protocol
+from repro.memcached import protocol_binary as binp
+from repro.memcached.protocol import Request, RequestParser
+from repro.memcached.store import ItemStore, StoreConfig
+from repro.sockets.api import Socket, WouldBlock
+from repro.sockets.epoll import EPOLLIN, Epoll
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.endpoint import Endpoint
+    from repro.core.runtime import UcrRuntime
+    from repro.fabric.topology import Node
+    from repro.sim import Simulator
+    from repro.sockets.stack import SocketStack
+
+#: Active-message ids of the memcached-over-UCR protocol.
+MSG_MC_REQUEST = 0x11
+MSG_MC_RESPONSE = 0x12
+
+#: Approximate wire size of the fixed UCR request/response headers.
+MC_REQUEST_HEADER_BYTES = 24
+MC_RESPONSE_HEADER_BYTES = 16
+
+
+@dataclass(frozen=True)
+class MemcachedCosts:
+    """Per-operation server CPU costs (µs, Clovertown baseline).
+
+    The sockets figures model memcached's command dispatch over a parsed
+    text line; the UCR figures model a fixed-layout struct decode -- the
+    semantic-match advantage the paper claims, visible as smaller
+    constants.  Stack costs (syscalls, copies, kernel work) are charged
+    by the socket layer itself and are NOT in these numbers.
+    """
+
+    parse_dispatch_us: float = 1.2   # text command -> handler
+    parse_binary_us: float = 0.6     # fixed-offset binary header decode
+    op_execute_us: float = 1.2       # hash, lookup, LRU, slab bookkeeping
+    response_build_us: float = 1.0   # formatting the reply line(s)
+    ucr_decode_us: float = 0.6       # fixed struct decode
+    ucr_op_execute_us: float = 2.0   # same engine work
+    ucr_response_us: float = 0.8     # fill a response struct
+
+
+@dataclass
+class McRequest:
+    """Fixed-layout UCR request header (the no-parse representation)."""
+
+    op: str
+    keys: list[str]
+    flags: int = 0
+    exptime: float = 0
+    cas: int = 0
+    delta: int = 0
+    value_length: int = 0
+    #: Client counter named as the response AM's target counter.
+    counter_id: int = 0
+    noreply: bool = False
+    #: UD clients: the QP number responses should be addressed to
+    #: (0 = reply over the same reliable endpoint).
+    reply_qpn: int = 0
+    #: Retransmission id so duplicated UD requests can be detected.
+    request_id: int = 0
+    #: Filled by the server's header handler for two-phase sets.
+    reserved_item: Any = None
+
+
+@dataclass
+class McResponse:
+    """Fixed-layout UCR response header."""
+
+    status: str  # 'stored' | 'not_stored' | 'exists' | 'not_found' |
+                 # 'deleted' | 'touched' | 'ok' | 'number' | 'values' | 'error'
+    number: int = 0
+    #: For get responses: (key, flags, length, cas) per hit, data follows
+    #: concatenated in the AM payload.
+    values_meta: list = None
+    message: str = ""
+    #: Echoed from the request (UD retransmission matching).
+    request_id: int = 0
+
+
+class _ConnState:
+    """Per-connection protocol state: sniffed on the first byte."""
+
+    __slots__ = ("kind", "parser")
+
+    def __init__(self) -> None:
+        self.kind: Optional[str] = None  # 'text' | 'binary'
+        self.parser = None
+
+    def sniff(self, first_byte: int) -> None:
+        """Real memcached: a 0x80 first byte selects the binary codec."""
+        if first_byte == binp.MAGIC_REQUEST:
+            self.kind = "binary"
+            self.parser = binp.BinaryParser()
+        else:
+            self.kind = "text"
+            self.parser = RequestParser()
+
+
+class _Worker:
+    """One server worker thread: an epoll loop over assigned sockets."""
+
+    def __init__(self, server: "MemcachedServer", index: int) -> None:
+        self.server = server
+        self.index = index
+        self.epoll = Epoll(server.sim, server.node)
+        self._conns: dict[Socket, _ConnState] = {}
+        self.requests_handled = 0
+        server.sim.process(self._loop(), label=f"mc-worker{index}")
+
+    def assign(self, sock: Socket) -> None:
+        """Take ownership of *sock*: register it with this worker's epoll."""
+        sock.setblocking(False)
+        self._conns[sock] = _ConnState()
+        self.epoll.register(sock, EPOLLIN)
+
+    def _drop(self, sock: Socket) -> None:
+        self.epoll.unregister(sock)
+        self._conns.pop(sock, None)
+        sock.close()
+
+    def _loop(self):
+        while True:
+            ready = yield from self.epoll.wait()
+            for sock, _mask in ready:
+                yield from self._service(sock)
+
+    def _service(self, sock: Socket):
+        try:
+            data = yield from sock.recv(65536)
+        except WouldBlock:
+            return
+        if data == b"":
+            self._drop(sock)
+            return
+        state = self._conns.get(sock)
+        if state is None:
+            return
+        if state.kind is None:
+            state.sniff(data[0])
+        if state.kind == "text":
+            yield from self._service_text(sock, state, data)
+        else:
+            yield from self._service_binary(sock, state, data)
+
+    def _service_text(self, sock: Socket, state: _ConnState, data: bytes):
+        server = self.server
+        try:
+            requests = state.parser.feed(data)
+        except ProtocolError:
+            yield from sock.send(protocol.encode_error())
+            self._drop(sock)
+            return
+        for req in requests:
+            self.requests_handled += 1
+            server.stats_requests += 1
+            yield from server.node.cpu_run(
+                server.node.host.cpu_time(server.costs.parse_dispatch_us)
+            )
+            if req.command == "quit":
+                self._drop(sock)
+                return
+            response = yield from server.execute_text(req)
+            if response is not None and not req.noreply:
+                yield from sock.send(response)
+
+    def _service_binary(self, sock: Socket, state: _ConnState, data: bytes):
+        server = self.server
+        try:
+            messages = state.parser.feed(data)
+        except ProtocolError:
+            self._drop(sock)  # binary has no in-band parse-error reply
+            return
+        for msg in messages:
+            self.requests_handled += 1
+            server.stats_requests += 1
+            yield from server.node.cpu_run(
+                server.node.host.cpu_time(server.costs.parse_binary_us)
+            )
+            if msg.opcode == binp.Opcode.QUIT:
+                yield from sock.send(binp.respond(msg))
+                self._drop(sock)
+                return
+            response = yield from server.execute_binary(msg)
+            if response:
+                yield from sock.send(response)
+
+
+class MemcachedServer:
+    """One memcached process (see module docstring)."""
+
+    VERSION = "1.4.9-repro"
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        node: "Node",
+        n_workers: int = 4,
+        store_config: StoreConfig = StoreConfig(),
+        costs: MemcachedCosts = MemcachedCosts(),
+        pd=None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.sim = sim
+        self.node = node
+        self.costs = costs
+        self.store = ItemStore(sim, store_config, pd=pd)
+        self.workers = [_Worker(self, i) for i in range(n_workers)]
+        self._rr = itertools.cycle(range(n_workers))
+        self.stats_requests = 0
+        self._listeners: list[Socket] = []
+
+    # -- sockets front end ------------------------------------------------------
+
+    def listen_sockets(self, stack: "SocketStack", port: int = 11211) -> None:
+        """Serve the text protocol on *stack* (callable multiple times --
+        the paper's testbed serves IPoIB, SDP and 10GigE simultaneously)."""
+        listener = stack.socket()
+        listener.bind(port)
+        listener.listen(backlog=1024)
+        self._listeners.append(listener)
+        self.sim.process(self._dispatcher(listener), label=f"mc-dispatch:{stack.params.name}")
+
+    def _dispatcher(self, listener: Socket):
+        """The libevent main thread: accept and hand off round-robin."""
+        while True:
+            sock = yield from listener.accept()
+            # Connection hand-off to the next worker (notify pipe cost).
+            yield from self.node.cpu_run(self.node.host.context_switch_us)
+            self.workers[next(self._rr)].assign(sock)
+
+    # -- command execution (text protocol) -----------------------------------------
+
+    def execute_text(self, req: Request):
+        """Process helper: run one parsed command, return response bytes."""
+        costs = self.costs
+        node = self.node
+        yield from node.cpu_run(node.host.cpu_time(costs.op_execute_us))
+        try:
+            if req.command in ("get", "gets"):
+                return (yield from self._text_get(req))
+            out = self._apply_store_op(req)
+        except ClientError as exc:
+            return protocol.encode_client_error(str(exc))
+        except ServerError as exc:
+            return protocol.encode_server_error(str(exc))
+        yield from node.cpu_run(node.host.cpu_time(costs.response_build_us))
+        return out
+
+    def _text_get(self, req: Request):
+        node = self.node
+        with_cas = req.command == "gets"
+        chunks: list[bytes] = []
+        for key in req.keys:
+            item = self.store.get(key)
+            if item is None:
+                continue
+            value = item.value()
+            # Response assembly copies the value into the outgoing stream.
+            if value:
+                yield from node.memcpy(len(value))
+            chunks.append(
+                protocol.encode_value(
+                    key, item.flags, value, item.cas if with_cas else None
+                )
+            )
+        yield from node.cpu_run(node.host.cpu_time(self.costs.response_build_us))
+        chunks.append(protocol.encode_end())
+        return b"".join(chunks)
+
+    def _apply_store_op(self, req: Request) -> Optional[bytes]:
+        store = self.store
+        cmd = req.command
+        if cmd == "set":
+            store.set(req.key, req.data, req.flags, req.exptime)
+            return protocol.encode_stored()
+        if cmd == "add":
+            ok = store.add(req.key, req.data, req.flags, req.exptime)
+            return protocol.encode_stored() if ok else protocol.encode_not_stored()
+        if cmd == "replace":
+            ok = store.replace(req.key, req.data, req.flags, req.exptime)
+            return protocol.encode_stored() if ok else protocol.encode_not_stored()
+        if cmd == "append":
+            ok = store.append(req.key, req.data)
+            return protocol.encode_stored() if ok else protocol.encode_not_stored()
+        if cmd == "prepend":
+            ok = store.prepend(req.key, req.data)
+            return protocol.encode_stored() if ok else protocol.encode_not_stored()
+        if cmd == "cas":
+            outcome = store.cas(req.key, req.data, req.cas, req.flags, req.exptime)
+            return {
+                "stored": protocol.encode_stored(),
+                "exists": protocol.encode_exists(),
+                "not_found": protocol.encode_not_found(),
+            }[outcome]
+        if cmd == "delete":
+            ok = store.delete(req.key)
+            return protocol.encode_deleted() if ok else protocol.encode_not_found()
+        if cmd in ("incr", "decr"):
+            value = (
+                store.incr(req.key, req.delta)
+                if cmd == "incr"
+                else store.decr(req.key, req.delta)
+            )
+            return (
+                protocol.encode_number(value)
+                if value is not None
+                else protocol.encode_not_found()
+            )
+        if cmd == "touch":
+            ok = store.touch(req.key, req.exptime)
+            return protocol.encode_touched() if ok else protocol.encode_not_found()
+        if cmd == "flush_all":
+            self.store.flush_all(req.exptime)
+            return protocol.encode_ok()
+        if cmd == "stats":
+            sub = req.keys[0] if req.keys else ""
+            if sub == "slabs":
+                return protocol.encode_stats(self.store.slab_stats_detail())
+            if sub == "items":
+                return protocol.encode_stats(self.store.item_stats_detail())
+            return protocol.encode_stats(self.stats_dict())
+        if cmd == "version":
+            return protocol.encode_version(self.VERSION)
+        return protocol.encode_error()
+
+    # -- command execution (binary protocol) -----------------------------------------
+
+    def execute_binary(self, msg: "binp.BinMessage"):
+        """Process helper: run one binary command, return response bytes."""
+        costs = self.costs
+        node = self.node
+        store = self.store
+        Op, St = binp.Opcode, binp.Status
+        yield from node.cpu_run(node.host.cpu_time(costs.op_execute_us))
+        key = msg.key.decode("ascii", errors="replace")
+        try:
+            if msg.opcode in (Op.GET, Op.GETK):
+                item = store.get(key)
+                if item is None:
+                    return binp.respond(msg, St.KEY_NOT_FOUND)
+                value = item.value()
+                if value:
+                    yield from node.memcpy(len(value))
+                return binp.respond_get_hit(msg, item.flags, value, item.cas)
+            if msg.opcode in (Op.SET, Op.ADD, Op.REPLACE):
+                flags, exptime = msg.set_extras()
+                if msg.cas:
+                    outcome = store.cas(key, msg.value, msg.cas, flags, exptime)
+                    status = {
+                        "stored": St.NO_ERROR,
+                        "exists": St.KEY_EXISTS,
+                        "not_found": St.KEY_NOT_FOUND,
+                    }[outcome]
+                    item = store.get(key) if status == St.NO_ERROR else None
+                    return binp.respond(msg, status, cas=item.cas if item else 0)
+                if msg.opcode == Op.SET:
+                    item = store.set(key, msg.value, flags, exptime)
+                elif msg.opcode == Op.ADD:
+                    item = store.add(key, msg.value, flags, exptime)
+                else:
+                    item = store.replace(key, msg.value, flags, exptime)
+                if item is None:
+                    return binp.respond(msg, St.ITEM_NOT_STORED)
+                return binp.respond(msg, cas=item.cas)
+            if msg.opcode in (Op.APPEND, Op.PREPEND):
+                item = (
+                    store.append(key, msg.value)
+                    if msg.opcode == Op.APPEND
+                    else store.prepend(key, msg.value)
+                )
+                if item is None:
+                    return binp.respond(msg, St.ITEM_NOT_STORED)
+                return binp.respond(msg, cas=item.cas)
+            if msg.opcode == Op.DELETE:
+                ok = store.delete(key)
+                return binp.respond(msg, St.NO_ERROR if ok else St.KEY_NOT_FOUND)
+            if msg.opcode in (Op.INCREMENT, Op.DECREMENT):
+                delta, initial, exptime = msg.arith_extras()
+                existing = store.get(key)
+                if existing is None:
+                    # 0xffffffff exptime: do not auto-create (binary spec).
+                    if exptime == 0xFFFFFFFF:
+                        return binp.respond(msg, St.KEY_NOT_FOUND)
+                    item = store.set(key, str(initial).encode(), 0, exptime)
+                    return binp.respond_counter(msg, initial, item.cas)
+                value = (
+                    store.incr(key, delta)
+                    if msg.opcode == Op.INCREMENT
+                    else store.decr(key, delta)
+                )
+                item = store.get(key)
+                return binp.respond_counter(msg, value, item.cas if item else 0)
+            if msg.opcode == Op.TOUCH:
+                ok = store.touch(key, msg.touch_extras())
+                return binp.respond(msg, St.NO_ERROR if ok else St.KEY_NOT_FOUND)
+            if msg.opcode == Op.FLUSH:
+                store.flush_all()
+                return binp.respond(msg)
+            if msg.opcode == Op.NOOP:
+                return binp.respond(msg)
+            if msg.opcode == Op.VERSION:
+                return binp.respond(msg, value=self.VERSION.encode())
+            if msg.opcode == Op.STAT:
+                return binp.respond_stats(msg, self.stats_dict())
+            return binp.respond(msg, St.UNKNOWN_COMMAND)
+        except ClientError:
+            return binp.respond(msg, St.NON_NUMERIC)
+        except ServerError:
+            return binp.respond(msg, St.VALUE_TOO_LARGE)
+
+    def stats_dict(self) -> dict:
+        """Store stats plus server-level fields (threads, totals)."""
+        d = self.store.stats_dict()
+        d["threads"] = len(self.workers)
+        d["total_requests"] = self.stats_requests
+        d["version"] = self.VERSION
+        return d
+
+
+class UcrServerPort:
+    """The RDMA-capable extension: UCR endpoints into the same server."""
+
+    def __init__(
+        self,
+        server: MemcachedServer,
+        runtime: "UcrRuntime",
+        service_id: int = 11211,
+        n_contexts: Optional[int] = None,
+    ) -> None:
+        self.server = server
+        self.runtime = runtime
+        self.sim = server.sim
+        n = n_contexts if n_contexts is not None else len(server.workers)
+        #: One UCR progress context per worker thread (paper §V-A: the
+        #: worker assigned at connect time serves all the client's AMs).
+        self.contexts = [runtime.create_context(f"mc-ucr{i}") for i in range(n)]
+        self._rr = itertools.cycle(self.contexts)
+        self.endpoints: list["Endpoint"] = []
+        self.ud_endpoints: list["Endpoint"] = []
+        #: At-most-once cache for UD retransmissions.
+        self._response_cache: dict = {}
+        self._cache_order: list = []
+        runtime.register_handler(
+            MSG_MC_REQUEST, self._header_handler, self._completion_handler
+        )
+        runtime.listen(
+            service_id,
+            select_context=lambda: next(self._rr),
+            on_endpoint=self._on_endpoint,
+        )
+
+    def _on_endpoint(self, ep: "Endpoint", private_data: Any) -> None:
+        self.endpoints.append(ep)
+
+    # -- UD mode (paper §VII future work) ---------------------------------------
+
+    def enable_ud(self) -> list["Endpoint"]:
+        """Create one UD receive endpoint per context.
+
+        UD mode trades per-client QP state for unreliability: requests
+        and responses can be dropped, so clients retransmit and the
+        server keeps an at-most-once response cache keyed by
+        ``(reply_qpn, request_id)`` -- without it a retried ``incr``
+        would double-apply.
+        """
+        if self.ud_endpoints:
+            return self.ud_endpoints
+        for ctx in self.contexts:
+            self.ud_endpoints.append(ctx.create_ud_endpoint())
+        return self.ud_endpoints
+
+    def _dedup_lookup(self, header: McRequest):
+        if not header.reply_qpn:
+            return None
+        return self._response_cache.get((header.reply_qpn, header.request_id))
+
+    def _dedup_store(self, header: McRequest, entry) -> None:
+        if not header.reply_qpn:
+            return
+        key = (header.reply_qpn, header.request_id)
+        self._response_cache[key] = entry
+        self._cache_order.append(key)
+        while len(self._cache_order) > 1024:
+            old = self._cache_order.pop(0)
+            self._response_cache.pop(old, None)
+
+    # -- the active message handlers ----------------------------------------------------
+
+    def _header_handler(self, ep: "Endpoint", header: McRequest, data_length: int):
+        """Identify the data's destination (paper Fig. 2, §V-B).
+
+        For a Set, reserve the item now so the value (eager memcpy or
+        RDMA READ alike) lands directly in its slab chunk.
+        """
+        if header.op in ("set", "add", "replace") and data_length > 0:
+            try:
+                item = self.server.store.reserve(
+                    header.keys[0], data_length, header.flags, header.exptime
+                )
+            except (ClientError, ServerError):
+                return None  # fall back to bounce buffer; op will re-fail
+            header.reserved_item = item
+            if item.chunk.page.mr is not None:
+                return item.chunk.rdma_location()
+        return None
+
+    def _completion_handler(self, ep: "Endpoint", header: McRequest, data: bytes):
+        """Execute the operation and reply over the same endpoint."""
+        server = self.server
+        node = server.node
+        costs = server.costs
+        server.stats_requests += 1
+        yield from node.cpu_run(node.host.cpu_time(costs.ucr_decode_us))
+        cached = self._dedup_lookup(header) if not ep.reliable else None
+        if cached is not None:
+            # Retransmitted UD request: replay, never re-execute.
+            response, payload, location = cached
+        else:
+            yield from node.cpu_run(node.host.cpu_time(costs.ucr_op_execute_us))
+            try:
+                response, payload, location = self._apply(header, data)
+            except ClientError as exc:
+                response, payload, location = McResponse("error", message=str(exc)), b"", None
+            except ServerError as exc:
+                response, payload, location = McResponse("error", message=str(exc)), b"", None
+            if not ep.reliable:
+                self._dedup_store(header, (response, payload, location))
+        if header.noreply:
+            return
+        yield from node.cpu_run(node.host.cpu_time(costs.ucr_response_us))
+        send_kwargs = {}
+        if not ep.reliable and header.reply_qpn:
+            # UD mode: address the response at the client's UD QP
+            # (resolved fabric-wide, like a cached address handle).
+            from repro.verbs.device import lookup_qp
+
+            try:
+                send_kwargs["ud_destination"] = lookup_qp(header.reply_qpn)
+            except KeyError:
+                return  # client vanished: drop the reply (UD semantics)
+        response.request_id = header.request_id
+        yield from ep.send_message(
+            MSG_MC_RESPONSE,
+            header=response,
+            header_bytes=MC_RESPONSE_HEADER_BYTES
+            + 8 * len(response.values_meta or []),
+            data=payload,
+            data_location=location,
+            target_counter=_CounterRef(header.counter_id) if header.counter_id else None,
+            **send_kwargs,
+        )
+
+    def _apply(self, req: McRequest, data: bytes):
+        """Returns (response_header, payload_bytes, zero_copy_location)."""
+        store = self.server.store
+        op = req.op
+        if op in ("set", "add", "replace"):
+            item = req.reserved_item
+            if item is None:  # zero-length value: plain path
+                store.set(req.keys[0], data, req.flags, req.exptime)
+                return McResponse("stored"), b"", None
+            req.reserved_item = None
+            if op != "set":
+                exists = store.get(req.keys[0]) is not None
+                if (op == "add" and exists) or (op == "replace" and not exists):
+                    store.abandon(item)
+                    return McResponse("not_stored"), b"", None
+            if item.chunk.page.mr is None:
+                # Store wasn't RDMA-registered: write through the item.
+                item.set_value(data)
+            store.commit(item)
+            return McResponse("stored"), b"", None
+        if op in ("get", "gets"):
+            if len(req.keys) == 1:
+                item = store.get(req.keys[0])
+                if item is None:
+                    return McResponse("values", values_meta=[]), b"", None
+                meta = [(item.key, item.flags, item.value_length, item.cas)]
+                if item.chunk.page.mr is not None:
+                    return (
+                        McResponse("values", values_meta=meta),
+                        b"",
+                        (item.chunk.page.mr, item.chunk.offset, item.value_length),
+                    )
+                return McResponse("values", values_meta=meta), item.value(), None
+            # mget: concatenate hits (always copied -- multiple extents).
+            metas, blobs = [], []
+            for key, item in store.get_multi(req.keys).items():
+                metas.append((key, item.flags, item.value_length, item.cas))
+                blobs.append(item.value())
+            return McResponse("values", values_meta=metas), b"".join(blobs), None
+        if op == "delete":
+            ok = store.delete(req.keys[0])
+            return McResponse("deleted" if ok else "not_found"), b"", None
+        if op in ("incr", "decr"):
+            value = (
+                store.incr(req.keys[0], req.delta)
+                if op == "incr"
+                else store.decr(req.keys[0], req.delta)
+            )
+            if value is None:
+                return McResponse("not_found"), b"", None
+            return McResponse("number", number=value), b"", None
+        if op == "cas":
+            outcome = store.cas(req.keys[0], data, req.cas, req.flags, req.exptime)
+            return McResponse(outcome if outcome != "not_found" else "not_found"), b"", None
+        if op == "touch":
+            ok = store.touch(req.keys[0], req.exptime)
+            return McResponse("touched" if ok else "not_found"), b"", None
+        if op == "flush_all":
+            store.flush_all(req.exptime)
+            return McResponse("ok"), b"", None
+        if op == "stats":
+            stats = self.server.stats_dict()
+            return McResponse("ok", values_meta=sorted(stats.items())), b"", None
+        raise ClientError(f"unknown op {op!r}")
+
+
+class _CounterRef:
+    """Names a remote counter by id in an outbound AM (only the id is
+    meaningful across the wire)."""
+
+    __slots__ = ("counter_id",)
+
+    def __init__(self, counter_id: int) -> None:
+        self.counter_id = counter_id

@@ -1,0 +1,212 @@
+"""The slab allocator.
+
+Memory is carved into 1 MB *pages*, each assigned to a *slab class* and
+split into equal-size *chunks*; an item lives in the smallest chunk that
+fits its key + value + header.  Chunk sizes start at 96 bytes and grow by
+a factor of 1.25, exactly like memcached 1.4's defaults.
+
+Two properties matter to the paper:
+
+- consolidation: the server may move data between slabs "to avoid
+  fragmentation (without informing clients)" -- the reason client-side
+  address caching (the Blue Gene design, §III) is unsafe.  Values live in
+  server-private chunks that can be reassigned at any time.
+- registration: when built for UCR, pages are backed by verbs memory
+  regions so values can be served by RDMA straight out of the slab.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.verbs.mr import MemoryRegion, ProtectionDomain
+
+#: Size of one slab page (memcached's default).
+PAGE_BYTES = 1024 * 1024
+#: Smallest chunk size.
+CHUNK_MIN = 96
+#: Geometric growth factor between classes.
+GROWTH_FACTOR = 1.25
+
+
+def build_chunk_sizes(
+    chunk_min: int = CHUNK_MIN,
+    factor: float = GROWTH_FACTOR,
+    page_bytes: int = PAGE_BYTES,
+) -> list[int]:
+    """The ascending chunk-size table (last class == one full page)."""
+    if chunk_min < 48 or factor <= 1.0:
+        raise ValueError("chunk_min >= 48 and factor > 1.0 required")
+    sizes = []
+    size = chunk_min
+    while size < page_bytes // 2:
+        # 8-byte alignment, like memcached.
+        aligned = (size + 7) & ~7
+        if not sizes or aligned != sizes[-1]:
+            sizes.append(aligned)
+        size = int(size * factor) + 1
+    sizes.append(page_bytes)
+    return sizes
+
+
+class Page:
+    """One 1 MB arena; optionally backed by a registered memory region."""
+
+    __slots__ = ("page_id", "size", "mr", "_buffer")
+
+    def __init__(self, page_id: int, size: int, mr: Optional["MemoryRegion"]) -> None:
+        self.page_id = page_id
+        self.size = size
+        self.mr = mr
+        #: Plain storage when not RDMA-registered.
+        self._buffer = None if mr is not None else bytearray(size)
+
+    def write(self, offset: int, data: bytes) -> None:
+        if self.mr is not None:
+            self.mr.write(offset, data)
+        else:
+            self._buffer[offset : offset + len(data)] = data
+
+    def read(self, offset: int, length: int) -> bytes:
+        if self.mr is not None:
+            return self.mr.read(offset, length)
+        return bytes(self._buffer[offset : offset + length])
+
+
+class SlabChunk:
+    """A fixed-size slot within a page."""
+
+    __slots__ = ("slab_class", "page", "offset", "capacity", "used")
+
+    def __init__(self, slab_class: "SlabClass", page: Page, offset: int) -> None:
+        self.slab_class = slab_class
+        self.page = page
+        self.offset = offset
+        #: Usable bytes for the value (class chunk size minus item header
+        #: and key are accounted by the caller; capacity is raw).
+        self.capacity = slab_class.chunk_size
+        self.used = False
+
+    def write(self, data: bytes) -> None:
+        self.page.write(self.offset, data)
+
+    def read(self, length: int) -> bytes:
+        return self.page.read(self.offset, length)
+
+    def rdma_location(self) -> tuple["MemoryRegion", int]:
+        """(mr, offset) for zero-copy RDMA out of the slab."""
+        if self.page.mr is None:
+            raise RuntimeError("slab page is not RDMA-registered")
+        return self.page.mr, self.offset
+
+
+class SlabClass:
+    """All pages/chunks of one chunk size."""
+
+    def __init__(self, class_id: int, chunk_size: int) -> None:
+        self.class_id = class_id
+        self.chunk_size = chunk_size
+        self.chunks_per_page = max(1, PAGE_BYTES // chunk_size)
+        self.free_chunks: list[SlabChunk] = []
+        self.total_chunks = 0
+        self.total_pages = 0
+
+    def add_page(self, page: Page) -> None:
+        """Carve *page* into chunks of this class's size."""
+        self.total_pages += 1
+        for i in range(self.chunks_per_page):
+            self.free_chunks.append(SlabChunk(self, page, i * self.chunk_size))
+        self.total_chunks += self.chunks_per_page
+
+    def pop_free(self) -> Optional[SlabChunk]:
+        if self.free_chunks:
+            chunk = self.free_chunks.pop()
+            chunk.used = True
+            return chunk
+        return None
+
+    def release(self, chunk: SlabChunk) -> None:
+        """Return *chunk* to this class's free list."""
+        if not chunk.used:
+            raise ValueError("double free of slab chunk")
+        chunk.used = False
+        self.free_chunks.append(chunk)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SlabClass {self.class_id} {self.chunk_size}B "
+            f"{len(self.free_chunks)}/{self.total_chunks} free>"
+        )
+
+
+class SlabAllocator:
+    """Page assignment and chunk allocation across all classes."""
+
+    def __init__(
+        self,
+        max_bytes: int = 64 * PAGE_BYTES,
+        pd: Optional["ProtectionDomain"] = None,
+        chunk_min: int = CHUNK_MIN,
+        factor: float = GROWTH_FACTOR,
+    ) -> None:
+        if max_bytes < PAGE_BYTES:
+            raise ValueError("need at least one page of memory")
+        self.max_bytes = max_bytes
+        self.pd = pd  # set => pages are registered with the HCA
+        self.classes = [
+            SlabClass(i, size)
+            for i, size in enumerate(build_chunk_sizes(chunk_min, factor))
+        ]
+        self.allocated_bytes = 0
+        self._next_page_id = 0
+
+    def class_for(self, total_item_bytes: int) -> Optional[SlabClass]:
+        """Smallest class whose chunks fit *total_item_bytes* (None: too big)."""
+        for cls in self.classes:
+            if cls.chunk_size >= total_item_bytes:
+                return cls
+        return None
+
+    def alloc(self, total_item_bytes: int) -> Optional[SlabChunk]:
+        """Allocate a chunk, growing the class by a page if allowed.
+
+        Returns None when memory is exhausted -- the store then evicts.
+        """
+        cls = self.class_for(total_item_bytes)
+        if cls is None:
+            raise ValueError(
+                f"object of {total_item_bytes} bytes exceeds the page size"
+            )
+        chunk = cls.pop_free()
+        if chunk is not None:
+            return chunk
+        if self.allocated_bytes + PAGE_BYTES <= self.max_bytes:
+            cls.add_page(self._make_page())
+            return cls.pop_free()
+        return None
+
+    def free(self, chunk: SlabChunk) -> None:
+        chunk.slab_class.release(chunk)
+
+    def _make_page(self) -> Page:
+        from repro.verbs.enums import Access
+
+        self._next_page_id += 1
+        self.allocated_bytes += PAGE_BYTES
+        mr = None
+        if self.pd is not None:
+            mr = self.pd.reg_mr(PAGE_BYTES, Access.full())
+        return Page(self._next_page_id, PAGE_BYTES, mr)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "allocated_bytes": self.allocated_bytes,
+            "pages": self._next_page_id,
+            "classes": len(self.classes),
+            "free_chunks": sum(len(c.free_chunks) for c in self.classes),
+            "total_chunks": sum(c.total_chunks for c in self.classes),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SlabAllocator {self.allocated_bytes}/{self.max_bytes}B>"

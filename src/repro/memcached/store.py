@@ -1,0 +1,407 @@
+"""The storage engine: slabs + hash table + LRU + expiry + stats.
+
+:class:`ItemStore` is shared by the sockets workers and the UCR contexts
+of one server (the paper's dual-mode design): all transports see the same
+data.  Methods are synchronous Python -- the *time* cost of each
+operation is charged by the calling server layer, which knows whose CPU
+is doing the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.memcached.errors import ClientError, ServerError
+from repro.memcached.hashtable import DEFAULT_POWER, HashTable
+from repro.memcached.items import ITEM_HEADER_OVERHEAD, Item
+from repro.memcached.lru import LruManager
+from repro.memcached.slabs import CHUNK_MIN, GROWTH_FACTOR, PAGE_BYTES, SlabAllocator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim import Simulator
+    from repro.verbs.mr import ProtectionDomain
+
+#: Above this, exptime is an absolute timestamp (memcached convention).
+RELATIVE_EXPTIME_LIMIT = 60 * 60 * 24 * 30
+#: Maximum key length (bytes), per the protocol spec.
+MAX_KEY_LENGTH = 250
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Engine sizing knobs (memcached command-line equivalents)."""
+
+    max_bytes: int = 64 * PAGE_BYTES        # -m
+    evictions_enabled: bool = True           # -M inverts this
+    chunk_min: int = CHUNK_MIN               # -n
+    growth_factor: float = GROWTH_FACTOR     # -f
+    initial_hash_power: int = DEFAULT_POWER
+
+
+@dataclass
+class StoreStats:
+    """The counters behind the ``stats`` command."""
+
+    cmd_get: int = 0
+    cmd_set: int = 0
+    get_hits: int = 0
+    get_misses: int = 0
+    delete_hits: int = 0
+    delete_misses: int = 0
+    incr_hits: int = 0
+    incr_misses: int = 0
+    decr_hits: int = 0
+    decr_misses: int = 0
+    cas_hits: int = 0
+    cas_misses: int = 0
+    cas_badval: int = 0
+    evictions: int = 0
+    expired_unfetched: int = 0
+    total_items: int = 0
+    curr_items: int = 0
+    bytes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+class ItemStore:
+    """See module docstring."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        config: StoreConfig = StoreConfig(),
+        pd: Optional["ProtectionDomain"] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.slabs = SlabAllocator(
+            max_bytes=config.max_bytes,
+            pd=pd,
+            chunk_min=config.chunk_min,
+            factor=config.growth_factor,
+        )
+        self.table = HashTable(config.initial_hash_power)
+        self.lru = LruManager()
+        self.stats = StoreStats()
+        #: Items created strictly before this instant are flushed.
+        self._flush_before = -1.0
+
+    # -- time helpers ------------------------------------------------------------
+
+    def now_seconds(self) -> float:
+        return self.sim.now / 1e6
+
+    def absolute_exptime(self, exptime: float) -> float:
+        """Apply memcached's relative-vs-absolute exptime convention."""
+        if exptime == 0:
+            return 0.0
+        if exptime < 0:
+            return -1.0  # sentinel: expired at any time (including t=0)
+        if exptime <= RELATIVE_EXPTIME_LIMIT:
+            return self.now_seconds() + exptime
+        return float(exptime)
+
+    # -- storage commands -----------------------------------------------------------
+
+    def set(self, key: str, value: bytes, flags: int = 0, exptime: float = 0) -> Item:
+        """Unconditional store."""
+        self._validate_key(key)
+        self.stats.cmd_set += 1
+        old = self._live_item(key)
+        if old is not None:
+            self._unlink(old)
+        return self._store_new(key, value, flags, exptime)
+
+    def add(self, key: str, value: bytes, flags: int = 0, exptime: float = 0) -> Optional[Item]:
+        """Store only if absent; None means NOT_STORED."""
+        self._validate_key(key)
+        self.stats.cmd_set += 1
+        if self._live_item(key) is not None:
+            return None
+        return self._store_new(key, value, flags, exptime)
+
+    def replace(self, key: str, value: bytes, flags: int = 0, exptime: float = 0) -> Optional[Item]:
+        """Store only if present; None means NOT_STORED."""
+        self._validate_key(key)
+        self.stats.cmd_set += 1
+        old = self._live_item(key)
+        if old is None:
+            return None
+        self._unlink(old)
+        return self._store_new(key, value, flags, exptime)
+
+    def append(self, key: str, suffix: bytes) -> Optional[Item]:
+        return self._concat(key, suffix, append=True)
+
+    def prepend(self, key: str, prefix: bytes) -> Optional[Item]:
+        return self._concat(key, prefix, append=False)
+
+    def cas(self, key: str, value: bytes, cas_token: int, flags: int = 0, exptime: float = 0) -> str:
+        """Compare-and-swap; returns 'stored' | 'exists' | 'not_found'."""
+        self._validate_key(key)
+        item = self._live_item(key)
+        if item is None:
+            self.stats.cas_misses += 1
+            return "not_found"
+        if item.cas != cas_token:
+            self.stats.cas_badval += 1
+            return "exists"
+        self.stats.cas_hits += 1
+        self._unlink(item)
+        self._store_new(key, value, flags, exptime)
+        return "stored"
+
+    # -- retrieval ---------------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[Item]:
+        """Retrieve a live item (lazy expiry; bumps LRU and stats)."""
+        self._validate_key(key)
+        self.stats.cmd_get += 1
+        item = self._live_item(key)
+        if item is None:
+            self.stats.get_misses += 1
+            return None
+        self.stats.get_hits += 1
+        item.last_access = self.now_seconds()
+        self.lru.touch(item)
+        return item
+
+    def get_multi(self, keys: list[str]) -> dict[str, Item]:
+        """The mget path: one pass, misses simply absent from the result."""
+        out: dict[str, Item] = {}
+        for key in keys:
+            item = self.get(key)
+            if item is not None:
+                out[key] = item
+        return out
+
+    # -- mutation ----------------------------------------------------------------------
+
+    def delete(self, key: str) -> bool:
+        """Unlink *key*; True if it was present and live."""
+        self._validate_key(key)
+        item = self._live_item(key)
+        if item is None:
+            self.stats.delete_misses += 1
+            return False
+        self.stats.delete_hits += 1
+        self._unlink(item)
+        return True
+
+    def incr(self, key: str, delta: int) -> Optional[int]:
+        return self._arith(key, delta)
+
+    def decr(self, key: str, delta: int) -> Optional[int]:
+        return self._arith(key, -delta)
+
+    def touch(self, key: str, exptime: float) -> bool:
+        """Update expiry without touching the value; True on hit."""
+        item = self._live_item(key)
+        if item is None:
+            return False
+        item.exptime = self.absolute_exptime(exptime)
+        return True
+
+    def flush_all(self, delay_seconds: float = 0.0) -> None:
+        """Invalidate everything created before now (+delay)."""
+        self._flush_before = self.now_seconds() + delay_seconds
+
+    # -- two-phase store (the UCR set path, paper §V-B) -----------------------------
+
+    def reserve(self, key: str, value_length: int, flags: int = 0, exptime: float = 0) -> Item:
+        """Phase 1: allocate an (unlinked) item so its slab chunk can be
+        named as the RDMA READ destination before the value arrives."""
+        self._validate_key(key)
+        total = ITEM_HEADER_OVERHEAD + len(key) + value_length
+        if total > PAGE_BYTES:
+            raise ServerError("object too large for cache")
+        chunk = self.slabs.alloc(total)
+        if chunk is None:
+            chunk = self._evict_and_retry(total)
+        item = Item(key, flags, self.absolute_exptime(exptime), value_length, chunk)
+        item.created_at = self.now_seconds()
+        item.last_access = item.created_at
+        return item
+
+    def commit(self, item: Item) -> Item:
+        """Phase 2: the value is in the chunk; link the item (replacing any
+        existing entry for the key)."""
+        self.stats.cmd_set += 1
+        old = self._live_item(item.key)
+        if old is not None:
+            self._unlink(old)
+        self._link(item)
+        return item
+
+    def abandon(self, item: Item) -> None:
+        """Cancel a reservation (transfer failed): free the chunk."""
+        if item.linked:
+            raise ValueError("cannot abandon a linked item")
+        self.slabs.free(item.chunk)
+
+    # -- internals ------------------------------------------------------------------------
+
+    def _arith(self, key: str, delta: int) -> Optional[int]:
+        self._validate_key(key)
+        item = self._live_item(key)
+        counter = "incr" if delta >= 0 else "decr"
+        if item is None:
+            setattr(self.stats, f"{counter}_misses", getattr(self.stats, f"{counter}_misses") + 1)
+            return None
+        raw = item.value()
+        if not raw.isdigit():
+            raise ClientError("cannot increment or decrement non-numeric value")
+        value = max(0, int(raw) + delta)  # decr clamps at zero, per spec
+        new = str(value).encode()
+        setattr(self.stats, f"{counter}_hits", getattr(self.stats, f"{counter}_hits") + 1)
+        if len(new) <= item.chunk.capacity - ITEM_HEADER_OVERHEAD - len(key):
+            old_len = item.value_length
+            item.set_value(new)
+            item.bump_cas()
+            self.stats.bytes += len(new) - old_len
+        else:  # needs a bigger chunk: full re-store
+            flags, exptime = item.flags, item.exptime
+            self._unlink(item)
+            self._store_new(key, new, flags, 0)
+        return value
+
+    def _concat(self, key: str, data: bytes, append: bool) -> Optional[Item]:
+        self._validate_key(key)
+        self.stats.cmd_set += 1
+        item = self._live_item(key)
+        if item is None:
+            return None
+        combined = item.value() + data if append else data + item.value()
+        flags = item.flags
+        exptime = item.exptime
+        self._unlink(item)
+        # exptime already absolute: store directly.
+        new_item = self._alloc_item(key, combined, flags)
+        new_item.exptime = exptime
+        self._link(new_item)
+        return new_item
+
+    def _store_new(self, key: str, value: bytes, flags: int, exptime: float) -> Item:
+        item = self._alloc_item(key, value, flags)
+        item.exptime = self.absolute_exptime(exptime)
+        self._link(item)
+        return item
+
+    def _alloc_item(self, key: str, value: bytes, flags: int) -> Item:
+        total = ITEM_HEADER_OVERHEAD + len(key) + len(value)
+        if total > PAGE_BYTES:
+            raise ServerError("object too large for cache")
+        chunk = self.slabs.alloc(total)
+        if chunk is None:
+            chunk = self._evict_and_retry(total)
+        item = Item(key, flags, 0.0, len(value), chunk)
+        item.set_value(value)
+        item.created_at = self.now_seconds()
+        item.last_access = item.created_at
+        return item
+
+    def _evict_and_retry(self, total: int):
+        if not self.config.evictions_enabled:
+            raise ServerError("out of memory storing object")
+        cls = self.slabs.class_for(total)
+        assert cls is not None
+        now = self.now_seconds()
+        # Pass 1: reap expired from the tail; pass 2: evict the coldest.
+        victim = None
+        for candidate in self.lru.eviction_candidates(cls.class_id):
+            if candidate.is_expired(now) or self._is_flushed(candidate):
+                victim = candidate
+                self.stats.expired_unfetched += 1
+                break
+        if victim is None:
+            for candidate in self.lru.eviction_candidates(cls.class_id, max_scan=1):
+                victim = candidate
+            if victim is not None:
+                self.stats.evictions += 1
+        if victim is None:
+            raise ServerError("out of memory storing object")
+        self._unlink(victim)
+        chunk = self.slabs.alloc(total)
+        if chunk is None:  # single eviction always frees a same-class chunk
+            raise ServerError("out of memory storing object")
+        return chunk
+
+    def _live_item(self, key: str) -> Optional[Item]:
+        """Lookup with lazy expiry and flush filtering."""
+        item = self.table.find(key)
+        if item is None:
+            return None
+        if item.is_expired(self.now_seconds()) or self._is_flushed(item):
+            self._unlink(item)
+            return None
+        return item
+
+    def _is_flushed(self, item: Item) -> bool:
+        return item.created_at < self._flush_before and self._flush_before <= self.now_seconds()
+
+    def _link(self, item: Item) -> None:
+        self.table.insert(item)
+        self.lru.link(item)
+        item.linked = True
+        self.stats.total_items += 1
+        self.stats.curr_items += 1
+        self.stats.bytes += item.total_bytes
+
+    def _unlink(self, item: Item) -> None:
+        self.table.remove(item.key)
+        self.lru.unlink(item)
+        item.linked = False
+        self.stats.curr_items -= 1
+        self.stats.bytes -= item.total_bytes
+        self.slabs.free(item.chunk)
+
+    @staticmethod
+    def _validate_key(key: str) -> None:
+        if not key or len(key) > MAX_KEY_LENGTH:
+            raise ClientError(f"bad key length {len(key)}")
+        if any(c in key for c in " \r\n\t\0"):
+            raise ClientError("key contains whitespace or control characters")
+
+    def stats_dict(self) -> dict[str, int]:
+        """The counters behind the top-level ``stats`` command."""
+        d = self.stats.as_dict()
+        d.update(self.slabs.stats())
+        d["hash_buckets"] = self.table.buckets
+        d["hash_expansions"] = self.table.expansions
+        return d
+
+    def slab_stats_detail(self) -> dict[str, int]:
+        """``stats slabs``: per-class chunk accounting (active classes)."""
+        out: dict[str, int] = {}
+        for cls in self.slabs.classes:
+            if cls.total_pages == 0:
+                continue
+            prefix = str(cls.class_id)
+            out[f"{prefix}:chunk_size"] = cls.chunk_size
+            out[f"{prefix}:chunks_per_page"] = cls.chunks_per_page
+            out[f"{prefix}:total_pages"] = cls.total_pages
+            out[f"{prefix}:total_chunks"] = cls.total_chunks
+            out[f"{prefix}:used_chunks"] = cls.total_chunks - len(cls.free_chunks)
+            out[f"{prefix}:free_chunks"] = len(cls.free_chunks)
+        out["active_slabs"] = sum(1 for c in self.slabs.classes if c.total_pages)
+        out["total_malloced"] = self.slabs.allocated_bytes
+        return out
+
+    def item_stats_detail(self) -> dict[str, int]:
+        """``stats items``: per-class LRU occupancy and ages."""
+        out: dict[str, int] = {}
+        now = self.now_seconds()
+        for class_id, queue in sorted(self.lru._queues.items()):
+            if len(queue) == 0:
+                continue
+            prefix = f"items:{class_id}"
+            out[f"{prefix}:number"] = len(queue)
+            tail = queue.tail
+            out[f"{prefix}:age"] = int(now - tail.last_access) if tail else 0
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ItemStore {self.stats.curr_items} items, {self.stats.bytes}B>"

@@ -1,0 +1,48 @@
+"""Discrete-event simulation core.
+
+Everything in this reproduction runs on virtual time: the engine maintains a
+heap of pending events stamped with simulated microseconds, and *processes*
+(plain Python generators) advance by yielding events they want to wait on.
+The design follows the classic process-interaction DES style (SimPy-like),
+but is implemented from scratch so the repository has no runtime
+dependencies beyond the scientific stack.
+
+Public surface:
+
+- :class:`~repro.sim.engine.Simulator` -- the event loop and clock.
+- :class:`~repro.sim.events.Event`, :class:`~repro.sim.events.Timeout`,
+  :class:`~repro.sim.events.AnyOf`, :class:`~repro.sim.events.AllOf` --
+  waitable primitives.
+- :class:`~repro.sim.process.Process`, :class:`~repro.sim.process.Interrupt`
+  -- generator-backed concurrent activities.
+- :class:`~repro.sim.resources.Resource`, :class:`~repro.sim.resources.Store`
+  -- contention primitives (CPU cores, DMA engines, mailboxes).
+- :mod:`repro.sim.rng` -- deterministic, stream-split random numbers.
+- :mod:`repro.sim.trace` -- measurement hooks (latency samples, counters).
+
+Time unit convention: **microseconds** (float).  Size convention: **bytes**
+(int).  These conventions hold across the whole package.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Interrupt, Process
+from repro.sim.resources import Resource, Store
+from repro.sim.rng import RngStream
+from repro.sim.trace import Counter, LatencyRecorder, Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Counter",
+    "Event",
+    "Interrupt",
+    "LatencyRecorder",
+    "Process",
+    "Resource",
+    "RngStream",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "Tracer",
+]

@@ -1,0 +1,149 @@
+"""The simulation event loop and clock.
+
+The :class:`Simulator` owns a binary heap of ``(time, priority, seq, event)``
+entries.  ``seq`` is a monotonically increasing tiebreaker so same-time
+events run in scheduling (FIFO) order, which keeps every run bit-for-bit
+deterministic -- a property the test suite relies on heavily.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterable, Optional
+
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.process import Process, ProcessGenerator
+
+#: Priority for ordinary events.
+PRIORITY_NORMAL = 1
+#: Priority for engine-internal "urgent" events (process init/interrupt),
+#: which must run before ordinary events at the same timestamp.
+PRIORITY_URGENT = 0
+
+
+class UnhandledFailure(RuntimeError):
+    """An event failed and no process ever observed the failure."""
+
+
+class Simulator:
+    """Discrete-event simulation engine with a microsecond clock.
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> def hello():
+    ...     yield sim.timeout(5.0)
+    ...     return sim.now
+    >>> proc = sim.process(hello())
+    >>> sim.run()
+    >>> proc.value
+    5.0
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        #: Hook invoked as ``hook(sim, event)`` just before each event is
+        #: processed; used by :mod:`repro.sim.trace`.
+        self.pre_event_hooks: list[Callable[["Simulator", Event], None]] = []
+        self._events_processed = 0
+
+    # -- clock & introspection ---------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing (None outside process context)."""
+        return self._active_process
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed so far (engine throughput metric)."""
+        return self._events_processed
+
+    def peek(self) -> float:
+        """Timestamp of the next scheduled event, or ``inf`` if idle."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    # -- factories -----------------------------------------------------------
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event bound to this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires *delay* microseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator, label: str = "") -> Process:
+        """Start a new process from *generator*; returns its Process event."""
+        return Process(self, generator, label=label)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of *events* fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all of *events* have fired."""
+        return AllOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float, priority: int = PRIORITY_NORMAL) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    # -- execution -----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process exactly one event, advancing the clock to its timestamp."""
+        if not self._heap:
+            raise RuntimeError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        self._events_processed += 1
+        for hook in self.pre_event_hooks:
+            hook(self, event)
+        event._process()
+        if event._exception is not None and not event.defused:
+            raise UnhandledFailure(
+                f"event {event!r} failed with no waiter: {event._exception!r}"
+            ) from event._exception
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the schedule drains or the clock would pass *until*.
+
+        When *until* is given the clock is advanced exactly to it on return,
+        so back-to-back ``run(until=...)`` calls compose predictably.
+        """
+        if until is not None:
+            if until < self._now:
+                raise ValueError(f"until={until} is in the past (now={self._now})")
+            while self._heap and self._heap[0][0] <= until:
+                self.step()
+            self._now = max(self._now, until)
+            return
+        while self._heap:
+            self.step()
+
+    def run_until_event(self, event: Event, limit: Optional[float] = None) -> Any:
+        """Run until *event* has been processed; returns its value.
+
+        Raises ``RuntimeError`` if the schedule drains (or *limit* passes)
+        first -- that means a deadlock in the modeled system.
+        """
+        while not event.processed:
+            if not self._heap:
+                raise RuntimeError(f"deadlock: schedule drained while waiting for {event!r}")
+            if limit is not None and self._heap[0][0] > limit:
+                raise RuntimeError(f"time limit {limit} exceeded waiting for {event!r}")
+            self.step()
+        return event.value

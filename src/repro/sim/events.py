@@ -1,0 +1,247 @@
+"""Waitable event primitives for the simulation engine.
+
+An :class:`Event` moves through three states:
+
+``PENDING``
+    Created but not yet triggered.  Processes that yield it are suspended.
+``TRIGGERED``
+    :meth:`Event.succeed` or :meth:`Event.fail` has been called; the event
+    sits in the engine's heap waiting for its timestamp.
+``PROCESSED``
+    The engine has popped it and run its callbacks; waiters have resumed.
+
+Events carry either a *value* (on success) or an *exception* (on failure).
+A failed event re-raises its exception inside every waiting process, which
+is how error propagation works throughout the stack (e.g. an RDMA completion
+with error status fails the completion event, which raises inside the UCR
+progress loop, which converts it into an endpoint error).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.sim.engine import Simulator
+
+
+class EventState(enum.Enum):
+    """Lifecycle state of an :class:`Event`."""
+
+    PENDING = "pending"
+    TRIGGERED = "triggered"
+    PROCESSED = "processed"
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.  Events are bound to exactly one engine.
+    name:
+        Optional debugging label, shown in ``repr``.
+    """
+
+    __slots__ = ("sim", "name", "_state", "_value", "_exception", "callbacks", "defused")
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self._state = EventState.PENDING
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        #: Functions invoked with this event when it is processed.
+        self.callbacks: list[Callable[["Event"], None]] = []
+        #: Set when a failure has been observed by at least one waiter, so
+        #: the engine does not escalate it as an unhandled error.
+        self.defused = False
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed`/:meth:`fail` has been called."""
+        return self._state is not EventState.PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run and waiters have been resumed."""
+        return self._state is EventState.PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event was triggered by :meth:`succeed`."""
+        if self._state is EventState.PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        return self._exception is None
+
+    @property
+    def value(self) -> Any:
+        """The success value (or raises the failure exception)."""
+        if self._state is EventState.PENDING:
+            raise RuntimeError(f"{self!r} has not been triggered yet")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        """The failure exception, or None for a successful event."""
+        return self._exception
+
+    # -- triggering --------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully, scheduling callbacks after *delay*."""
+        if self._state is not EventState.PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        self._state = EventState.TRIGGERED
+        self._value = value
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event as failed; waiters will see *exception* raised."""
+        if self._state is not EventState.PENDING:
+            raise RuntimeError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._state = EventState.TRIGGERED
+        self._exception = exception
+        self.sim._schedule(self, delay)
+        return self
+
+    # -- engine internals ---------------------------------------------------
+
+    def _process(self) -> None:
+        """Run callbacks.  Called by the engine exactly once."""
+        self._state = EventState.PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {self._state.value}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay.
+
+    Created via :meth:`repro.sim.engine.Simulator.timeout`; it is triggered
+    immediately at construction so it cannot be succeeded or failed by user
+    code.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim, name=f"timeout({delay})")
+        self.delay = delay
+        self._state = EventState.TRIGGERED
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class ConditionValue:
+    """Mapping-like view over the events a condition has collected.
+
+    Supports ``event in cv``, ``cv[event]`` and ``cv.events`` so callers can
+    distinguish which branch of an :class:`AnyOf` fired (the idiom used by
+    UCR's wait-with-timeout).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self, events: list[Event]) -> None:
+        self.events = events
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event._value
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ConditionValue {self.events!r}>"
+
+
+class Condition(Event):
+    """Composite event over a set of sub-events.
+
+    Parameters
+    ----------
+    evaluate:
+        Callable ``(events, triggered_count) -> bool`` deciding readiness.
+    events:
+        Sub-events to observe.  Already-processed sub-events count.
+    """
+
+    __slots__ = ("_events", "_evaluate", "_count")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        evaluate: Callable[[list[Event], int], bool],
+        events: Iterable[Event],
+    ) -> None:
+        super().__init__(sim)
+        self._events = list(events)
+        self._evaluate = evaluate
+        self._count = 0
+
+        for event in self._events:
+            if event.sim is not sim:
+                raise ValueError("all condition events must share one simulator")
+
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+
+        for event in self._events:
+            if event.processed:
+                self._on_sub_event(event)
+            else:
+                event.callbacks.append(self._on_sub_event)
+
+    def _collect_values(self) -> ConditionValue:
+        return ConditionValue([e for e in self._events if e.processed])
+
+    def _on_sub_event(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event._exception is not None:
+            event.defused = True
+            self.fail(event._exception)
+            return
+        self._count += 1
+        if self._evaluate(self._events, self._count):
+            self.succeed(self._collect_values())
+
+
+class AnyOf(Condition):
+    """Fires as soon as any sub-event fires (the ``|`` of events)."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, lambda events, count: count >= 1, events)
+
+
+class AllOf(Condition):
+    """Fires once every sub-event has fired (the ``&`` of events)."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]) -> None:
+        super().__init__(sim, lambda events, count: count == len(events), events)

@@ -1,0 +1,150 @@
+"""Generator-backed processes.
+
+A *process* is a plain Python generator that yields :class:`Event` objects.
+Yielding suspends the process until the event is processed; the event's
+value becomes the result of the ``yield`` expression (or its exception is
+raised at the yield point).  A process is itself an :class:`Event` that
+fires with the generator's return value, so processes can wait on each
+other -- this is how, e.g., a memcached client op waits for the UCR
+progress engine to deliver a response.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, EventState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted.
+
+    The UCR timeout machinery uses interrupts to cancel in-flight waits when
+    a client declares a server dead.
+    """
+
+    @property
+    def cause(self) -> Any:
+        """The cause passed to :meth:`Process.interrupt`."""
+        return self.args[0] if self.args else None
+
+
+class Process(Event):
+    """Wraps a generator and drives it through the event loop."""
+
+    __slots__ = ("_generator", "_target", "label")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, label: str = "") -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"process requires a generator, got {type(generator).__name__}")
+        super().__init__(sim, name=label or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        #: The event this process is currently waiting on (None when running).
+        self._target: Optional[Event] = None
+        self.label = label
+        # Kick off at the current simulated time.
+        init = Event(sim, name="process-init")
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return self._state is EventState.PENDING
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event currently being waited on (for introspection/tests)."""
+        return self._target
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait point.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is waiting removes it from the waited event's callbacks so the
+        event's eventual firing does not resume it twice.
+        """
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has already terminated")
+        interrupt_ev = Event(self.sim, name="interrupt")
+        interrupt_ev.callbacks.append(self._deliver_interrupt)
+        interrupt_ev._value = cause
+        interrupt_ev.succeed(cause)
+
+    def _deliver_interrupt(self, event: Event) -> None:
+        if not self.is_alive:  # process ended before the interrupt landed
+            return
+        if self._target is not None:
+            try:
+                self._target.callbacks.remove(self._resume)
+            except ValueError:  # already detached (event fired this step)
+                pass
+            self._target = None
+        self._step(Interrupt(event._value), as_exception=True)
+
+    # -- engine driving ----------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Callback attached to whatever event the process last yielded."""
+        self._target = None
+        if event._exception is not None:
+            event.defused = True
+            self._step(event._exception, as_exception=True)
+        else:
+            self._step(event._value, as_exception=False)
+
+    def _step(self, payload: Any, as_exception: bool) -> None:
+        sim = self.sim
+        prev = sim._active_process
+        sim._active_process = self
+        try:
+            if as_exception:
+                target = self._generator.throw(payload)
+            else:
+                target = self._generator.send(payload)
+        except StopIteration as stop:
+            sim._active_process = prev
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._active_process = prev
+            self.fail(exc)
+            return
+        sim._active_process = prev
+
+        if not isinstance(target, Event):
+            # Misuse: raise inside the generator so tracebacks point at it.
+            self._step(
+                TypeError(
+                    f"process {self.name!r} yielded {target!r}; processes may "
+                    "only yield Event instances"
+                ),
+                as_exception=True,
+            )
+            return
+        if target.sim is not sim:
+            self._step(
+                ValueError("yielded event belongs to a different simulator"),
+                as_exception=True,
+            )
+            return
+        if target.processed:
+            # Already done: resume immediately (same simulated instant) via
+            # a zero-delay bridge so stack depth stays bounded.
+            if target._exception is not None:
+                target.defused = True
+            bridge = Event(sim, name="bridge")
+            bridge._value = target._value
+            bridge._exception = target._exception
+            bridge.callbacks.append(self._resume)
+            bridge._state = EventState.TRIGGERED
+            sim._schedule(bridge, 0.0)
+            self._target = bridge
+        else:
+            target.callbacks.append(self._resume)
+            self._target = target

@@ -1,0 +1,169 @@
+"""Contention primitives: capacity resources and FIFO stores.
+
+``Resource`` models anything with limited parallelism -- CPU cores on a
+memcached server node, the DMA engine of an HCA, the transmit side of a
+link.  ``Store`` models an unbounded (or bounded) FIFO of items -- NIC
+receive rings, socket accept queues, worker-thread mailboxes.
+
+Both hand out plain :class:`~repro.sim.events.Event` objects so processes
+wait on them with ordinary ``yield``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Optional
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource`."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, sim: "Simulator", resource: "Resource") -> None:
+        super().__init__(sim, name=f"request({resource.name})")
+        self.resource = resource
+
+
+class Resource:
+    """A counting semaphore with a FIFO wait queue.
+
+    Usage inside a process::
+
+        req = cpu.request()
+        yield req
+        yield sim.timeout(work_us)
+        cpu.release(req)
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource") -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._users: set[Request] = set()
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of currently granted requests."""
+        return len(self._users)
+
+    @property
+    def queued(self) -> int:
+        """Number of requests waiting for capacity."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Claim one unit of capacity; the returned event fires when granted."""
+        req = Request(self.sim, self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def release(self, request: Request) -> None:
+        """Return a previously granted unit; wakes the next waiter (FIFO)."""
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._queue:  # cancel a never-granted request
+            self._queue.remove(request)
+            return
+        else:
+            raise ValueError(f"{request!r} does not hold {self.name!r}")
+        if self._queue:
+            nxt = self._queue.popleft()
+            self._users.add(nxt)
+            nxt.succeed(nxt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Resource {self.name!r} {self.count}/{self.capacity} (+{self.queued} queued)>"
+
+
+class Store:
+    """An ordered item buffer with blocking get and optional capacity bound.
+
+    ``put`` always succeeds immediately when the store is unbounded;
+    with ``capacity`` set, ``put`` returns an event that fires once space
+    is available (modeling back-pressure, e.g. a full socket send buffer).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        capacity: Optional[int] = None,
+        name: str = "store",
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1 or None, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def getters_waiting(self) -> int:
+        """Number of blocked ``get`` calls."""
+        return len(self._getters)
+
+    def put(self, item: Any) -> Event:
+        """Deposit *item*; returns an event that fires once accepted."""
+        done = Event(self.sim, name=f"put({self.name})")
+        if self._getters:
+            # Hand the item straight to the oldest waiting getter.
+            getter = self._getters.popleft()
+            getter.succeed(item)
+            done.succeed()
+        elif self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            done.succeed()
+        else:
+            self._putters.append((done, item))
+        return done
+
+    def get(self) -> Event:
+        """Take the oldest item; the returned event fires with the item."""
+        ev = Event(self.sim, name=f"get({self.name})")
+        if self._items:
+            ev.succeed(self._items.popleft())
+            self._admit_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking take: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_putter()
+            return True, item
+        return False, None
+
+    def peek_all(self) -> list[Any]:
+        """Snapshot of buffered items (for stats/tests); does not consume."""
+        return list(self._items)
+
+    def _admit_putter(self) -> None:
+        if self._putters and (self.capacity is None or len(self._items) < self.capacity):
+            done, item = self._putters.popleft()
+            if self._getters:
+                self._getters.popleft().succeed(item)
+            else:
+                self._items.append(item)
+            done.succeed()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Store {self.name!r} items={len(self._items)} getters={len(self._getters)}>"

@@ -1,0 +1,52 @@
+"""Byte-stream socket stacks: the paper's baseline transports.
+
+Four stacks share one BSD-style socket API (:mod:`repro.sockets.api`) and
+one byte-stream connection engine (:mod:`repro.sockets.connection`); they
+differ only in their :class:`~repro.sockets.params.StackParams` cost
+models:
+
+- **Kernel TCP** over 1GigE (reference commodity baseline): full kernel
+  protocol processing per MTU segment, interrupts, copies both sides.
+- **10GigE TOE** (Chelsio T3): protocol processing offloaded to the NIC,
+  but the socket API, syscalls, copies and event-notification path remain.
+- **IPoIB** (IP-over-InfiniBand, connected mode): kernel IP stack riding
+  the IB RC transport -- no protocol offload at all, per-2KB-fragment
+  kernel work.
+- **SDP** (Sockets Direct Protocol): OS-bypassed IB messaging under a
+  byte-stream veneer; buffered-copy (bcopy) mode by default, zero-copy
+  above a threshold as an opt-in ablation (the paper ran with zcopy off).
+
+The point the paper makes -- and this package reproduces -- is that *all*
+of these pay a semantic-mismatch tax that native verbs avoids: byte-stream
+framing, per-call syscalls, and at least one copy per side.
+"""
+
+from repro.sockets.api import NotConnected, Socket, SocketError, WouldBlock
+from repro.sockets.epoll import EPOLLIN, EPOLLOUT, Epoll
+from repro.sockets.stack import Connection, SocketStack
+from repro.sockets.params import (
+    SDP_BCOPY,
+    SDP_QDR_JITTER,
+    STACK_IPOIB,
+    STACK_TCP_1G,
+    STACK_TOE_10G,
+    StackParams,
+)
+
+__all__ = [
+    "Connection",
+    "EPOLLIN",
+    "EPOLLOUT",
+    "Epoll",
+    "NotConnected",
+    "WouldBlock",
+    "SDP_BCOPY",
+    "SDP_QDR_JITTER",
+    "STACK_IPOIB",
+    "STACK_TCP_1G",
+    "STACK_TOE_10G",
+    "Socket",
+    "SocketError",
+    "SocketStack",
+    "StackParams",
+]

@@ -1,0 +1,100 @@
+"""epoll emulation: the readiness engine under libevent.
+
+Memcached's event loop is libevent over epoll; the latency contribution
+of that path -- an ``epoll_wait`` syscall per wakeup plus the thread
+hand-off -- is part of why sockets-based memcached cannot approach verbs
+latencies.  The :class:`Epoll` object reproduces level-triggered
+semantics over the simulated sockets.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fabric.topology import Node
+    from repro.sim import Simulator
+    from repro.sockets.api import Socket
+
+#: Readiness event masks (bit-compatible spirit, not values, with Linux).
+EPOLLIN = 0x1
+EPOLLOUT = 0x4
+
+
+class Epoll:
+    """Level-triggered readiness multiplexer for simulated sockets."""
+
+    def __init__(self, sim: "Simulator", node: "Node", syscall_us: float = 0.5) -> None:
+        self.sim = sim
+        self.node = node
+        self.syscall_us = syscall_us
+        self._interest: dict["Socket", int] = {}
+        self._wakeup = None  # armed while a wait() is blocked
+
+    # -- interest list -------------------------------------------------------------
+
+    def register(self, sock: "Socket", events: int = EPOLLIN) -> None:
+        """Add *sock* to the interest list with *events* mask."""
+        if events == 0:
+            raise ValueError("empty event mask")
+        if sock in self._interest:
+            raise ValueError(f"{sock!r} already registered; use modify()")
+        self._interest[sock] = events
+        sock.watch_readiness(self._on_readiness)
+
+    def modify(self, sock: "Socket", events: int) -> None:
+        if sock not in self._interest:
+            raise KeyError(f"{sock!r} not registered")
+        self._interest[sock] = events
+
+    def unregister(self, sock: "Socket") -> None:
+        if self._interest.pop(sock, None) is not None:
+            sock.unwatch_readiness(self._on_readiness)
+
+    def __len__(self) -> int:
+        return len(self._interest)
+
+    # -- waiting ---------------------------------------------------------------------
+
+    def wait(self, timeout_us: Optional[float] = None):
+        """Process helper: block until ≥1 registered socket is ready.
+
+        Returns ``[(socket, ready_mask), ...]``; an empty list on timeout.
+        Level-triggered: a socket stays ready until drained.
+        """
+        yield from self.node.cpu_run(self.syscall_us)
+        while True:
+            ready = self._poll_ready()
+            if ready:
+                return ready
+            self._wakeup = self.sim.event(name="epoll-wakeup")
+            if timeout_us is not None:
+                timer = self.sim.timeout(timeout_us)
+                fired = yield self.sim.any_of([self._wakeup, timer])
+                armed, self._wakeup = self._wakeup, None
+                if armed not in fired:
+                    return []
+            else:
+                yield self._wakeup
+                self._wakeup = None
+            # Thread wakeup out of epoll_wait.
+            yield from self.node.cpu_run(self.node.host.context_switch_us)
+
+    def _poll_ready(self) -> list[tuple["Socket", int]]:
+        ready = []
+        for sock, mask in self._interest.items():
+            hits = 0
+            if mask & EPOLLIN and sock.readable:
+                hits |= EPOLLIN
+            if mask & EPOLLOUT and sock.writable:
+                hits |= EPOLLOUT
+            if hits:
+                ready.append((sock, hits))
+        return ready
+
+    def _on_readiness(self, sock: "Socket") -> None:
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Epoll on {self.node.name} watching {len(self._interest)}>"

@@ -1,0 +1,58 @@
+"""Constants mirroring the OpenFabrics verbs vocabulary."""
+
+from __future__ import annotations
+
+import enum
+
+
+class QpType(enum.Enum):
+    """Transport type of a queue pair."""
+
+    RC = "reliable-connection"
+    UD = "unreliable-datagram"
+
+
+class QpState(enum.Enum):
+    """Queue pair state machine (the subset the data path needs)."""
+
+    RESET = "reset"
+    INIT = "init"
+    RTR = "ready-to-receive"
+    RTS = "ready-to-send"
+    ERROR = "error"
+
+
+class Opcode(enum.Enum):
+    """Work request / completion opcodes."""
+
+    SEND = "send"
+    RECV = "recv"
+    RDMA_WRITE = "rdma-write"
+    RDMA_READ = "rdma-read"
+
+
+class WcStatus(enum.Enum):
+    """Work completion status codes (subset of ibv_wc_status)."""
+
+    SUCCESS = "success"
+    LOC_LEN_ERR = "local-length-error"
+    REM_ACCESS_ERR = "remote-access-error"
+    RNR_RETRY_EXC_ERR = "receiver-not-ready"
+    WR_FLUSH_ERR = "flushed"
+
+
+class Access(enum.Flag):
+    """Memory region access permissions."""
+
+    LOCAL_READ = enum.auto()   # implicit in real verbs; explicit here
+    LOCAL_WRITE = enum.auto()
+    REMOTE_READ = enum.auto()
+    REMOTE_WRITE = enum.auto()
+
+    @classmethod
+    def local_only(cls) -> "Access":
+        return cls.LOCAL_READ | cls.LOCAL_WRITE
+
+    @classmethod
+    def full(cls) -> "Access":
+        return cls.LOCAL_READ | cls.LOCAL_WRITE | cls.REMOTE_READ | cls.REMOTE_WRITE

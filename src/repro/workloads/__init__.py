@@ -1,0 +1,29 @@
+"""memslap-style workload generation and execution.
+
+The paper's benchmarks are "inspired by the popular memslap benchmark ...
+but use the standard libmemcached C API" (§VI).  This package reproduces
+that: instruction mixes over the real client API, with the paper's two
+mixed patterns (non-interleaved 1 set / 9 gets, interleaved 1 set / 1
+get), single- and multi-client (closed-loop) modes.
+"""
+
+from repro.workloads.memslap import MemslapResult, MemslapRunner
+from repro.workloads.patterns import (
+    GET_ONLY,
+    INTERLEAVED_50_50,
+    NON_INTERLEAVED_10_90,
+    SET_ONLY,
+    OpPattern,
+)
+from repro.workloads.keys import KeyChooser
+
+__all__ = [
+    "GET_ONLY",
+    "INTERLEAVED_50_50",
+    "KeyChooser",
+    "MemslapResult",
+    "MemslapRunner",
+    "NON_INTERLEAVED_10_90",
+    "OpPattern",
+    "SET_ONLY",
+]

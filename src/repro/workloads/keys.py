@@ -1,0 +1,60 @@
+"""Key and value generation for workloads."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.rng import RngStream
+
+
+class KeyChooser:
+    """Selects keys per operation.
+
+    Modes:
+
+    - ``single``: the paper's latency benchmark -- "the Memcached client
+      repeatedly sets (or gets) a particular size of item".
+    - ``uniform``: uniform over a key universe of *key_space* keys.
+    - ``zipf``: skewed popularity (hot keys), the realistic extension.
+    """
+
+    def __init__(
+        self,
+        mode: str = "single",
+        key_space: int = 1,
+        prefix: str = "memslap",
+        zipf_skew: float = 0.99,
+        rng: Optional[RngStream] = None,
+    ) -> None:
+        if mode not in ("single", "uniform", "zipf"):
+            raise ValueError(f"unknown key mode {mode!r}")
+        if key_space < 1:
+            raise ValueError("key_space must be >= 1")
+        self.mode = mode
+        self.key_space = key_space
+        self.prefix = prefix
+        self.zipf_skew = zipf_skew
+        self.rng = rng or RngStream(0, f"keys/{prefix}")
+
+    def all_keys(self) -> list[str]:
+        """The full key universe (for pre-population)."""
+        return [f"{self.prefix}-{i}" for i in range(self.key_space)]
+
+    def next_key(self) -> str:
+        """The key for the next operation, per the configured mode."""
+        if self.mode == "single":
+            return f"{self.prefix}-0"
+        if self.mode == "uniform":
+            return f"{self.prefix}-{self.rng.randint(0, self.key_space)}"
+        return f"{self.prefix}-{self.rng.zipf_index(self.key_space, self.zipf_skew)}"
+
+
+def make_value(size: int, tag: int = 0) -> bytes:
+    """A deterministic value of *size* bytes (verifiable, compress-proof)."""
+    if size < 0:
+        raise ValueError("negative value size")
+    if size == 0:
+        return b""
+    pattern = bytes([(tag + i) % 251 for i in range(min(size, 251))])
+    reps = size // len(pattern) + 1
+    return (pattern * reps)[:size]

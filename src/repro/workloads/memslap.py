@@ -1,0 +1,135 @@
+"""The benchmark driver (memslap-alike over the real client API).
+
+Single-client mode measures per-operation latency; multi-client mode
+starts every client simultaneously on its own node and reports aggregate
+transactions per second, exactly like the paper's §VI-D benchmark
+("Instead of latency, we report the total number of transactions ...
+aggregate ... observed by all the clients").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.trace import LatencyRecorder
+from repro.workloads.keys import KeyChooser, make_value
+from repro.workloads.patterns import GET_ONLY, OpPattern
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.builder import Cluster
+
+
+@dataclass
+class MemslapResult:
+    """Everything one benchmark run produced."""
+
+    transport: str
+    value_size: int
+    pattern: str
+    n_clients: int
+    n_ops_per_client: int
+    elapsed_us: float
+    latency: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("op"))
+    set_latency: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("set"))
+    get_latency: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("get"))
+
+    @property
+    def total_ops(self) -> int:
+        return self.n_clients * self.n_ops_per_client
+
+    @property
+    def tps(self) -> float:
+        """Aggregate transactions per (simulated) second."""
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.total_ops / (self.elapsed_us / 1e6)
+
+    def median_latency(self) -> float:
+        return self.latency.median()
+
+
+class MemslapRunner:
+    """Drives one (cluster, transport, pattern, size) benchmark point."""
+
+    def __init__(
+        self,
+        cluster: "Cluster",
+        transport: str,
+        value_size: int,
+        pattern: OpPattern = GET_ONLY,
+        n_clients: int = 1,
+        n_ops_per_client: int = 100,
+        warmup_ops: int = 5,
+        keys: Optional[KeyChooser] = None,
+    ) -> None:
+        if n_clients > len(cluster.client_nodes):
+            raise ValueError(
+                f"{n_clients} clients need {n_clients} nodes; cluster has "
+                f"{len(cluster.client_nodes)} (paper: clients on distinct nodes)"
+            )
+        self.cluster = cluster
+        self.transport = transport
+        self.value_size = value_size
+        self.pattern = pattern
+        self.n_clients = n_clients
+        self.n_ops_per_client = n_ops_per_client
+        self.warmup_ops = warmup_ops
+        self.keys = keys or KeyChooser(mode="single", prefix=f"bench-{value_size}")
+
+    def run(self) -> MemslapResult:
+        """Execute the benchmark; returns the populated result."""
+        cluster = self.cluster
+        sim = cluster.sim
+        result = MemslapResult(
+            transport=self.transport,
+            value_size=self.value_size,
+            pattern=self.pattern.name,
+            n_clients=self.n_clients,
+            n_ops_per_client=self.n_ops_per_client,
+            elapsed_us=0.0,
+        )
+        clients = [
+            cluster.client(self.transport, i) for i in range(self.n_clients)
+        ]
+        value = make_value(self.value_size, tag=7)
+
+        # Pre-populate every key (gets must hit) and warm the connections.
+        def prepopulate():
+            """Seed every key and warm each client's connection."""
+            seeder = clients[0]
+            for key in self.keys.all_keys():
+                yield from seeder.set(key, value)
+            for client in clients:
+                for _ in range(self.warmup_ops):
+                    yield from client.get(self.keys.all_keys()[0])
+
+        pre = sim.process(prepopulate())
+        sim.run_until_event(pre)
+
+        finish_times: list[float] = []
+        start = sim.now
+
+        def closed_loop(client):
+            for op in self.pattern.ops(self.n_ops_per_client):
+                key = self.keys.next_key()
+                t0 = sim.now
+                if op == "set":
+                    yield from client.set(key, value)
+                else:
+                    got = yield from client.get(key)
+                    assert got is not None, f"unexpected miss on {key}"
+                dt = sim.now - t0
+                result.latency.record(dt)
+                (result.set_latency if op == "set" else result.get_latency).record(dt)
+            finish_times.append(sim.now)
+
+        for client in clients:
+            sim.process(closed_loop(client))
+        sim.run()
+        if len(finish_times) != self.n_clients:
+            raise RuntimeError(
+                f"only {len(finish_times)}/{self.n_clients} clients finished"
+            )
+        result.elapsed_us = max(finish_times) - start
+        return result

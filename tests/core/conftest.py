@@ -1,0 +1,20 @@
+"""Shared fixtures: two UCR runtimes on an IB-DDR fabric.
+
+The harness itself lives in :mod:`repro.testing` so the benchmark suite
+can use it without importing the tests package.
+"""
+
+import pytest
+
+from repro.testing import SERVICE, UcrWorld  # noqa: F401  (re-exported)
+
+
+@pytest.fixture
+def world():
+    return UcrWorld()
+
+
+@pytest.fixture
+def connected(world):
+    client_ep, server_ep = world.establish()
+    return world, client_ep, server_ep

@@ -1,0 +1,320 @@
+"""Active message semantics: eager/rendezvous paths, handlers, counters."""
+
+import pytest
+
+from repro.core import UcrTimeout
+from repro.core.params import UCR_DEFAULT
+
+MSG_ECHO = 1
+MSG_SINK = 2
+
+
+def test_eager_message_runs_handlers_in_order(connected):
+    world, client_ep, server_ep = connected
+    log = []
+
+    def header_handler(ep, header, length):
+        log.append(("header", header, length))
+        return None
+
+    def completion_handler(ep, header, data):
+        log.append(("completion", data))
+        yield world.sim.timeout(0)
+
+    world.server_rt.register_handler(MSG_SINK, header_handler, completion_handler)
+
+    def sender():
+        yield from client_ep.send_message(
+            MSG_SINK, header={"op": "set"}, header_bytes=16, data=b"value-bytes"
+        )
+
+    world.sim.process(sender())
+    world.sim.run()
+    assert log == [
+        ("header", {"op": "set"}, 11),
+        ("completion", b"value-bytes"),
+    ]
+
+
+def test_target_counter_increments_at_target(connected):
+    world, client_ep, server_ep = connected
+    server_counter = world.server_rt.create_counter("srv")
+    world.server_rt.register_handler(MSG_SINK)
+
+    def sender():
+        yield from client_ep.send_message(
+            MSG_SINK,
+            header=None,
+            header_bytes=8,
+            data=b"x",
+            target_counter=server_counter,
+        )
+
+    world.sim.process(sender())
+    world.sim.run()
+    assert server_counter.value == 1
+
+
+def test_origin_counter_on_local_completion(connected):
+    world, client_ep, _ = connected
+    origin = world.client_rt.create_counter("origin")
+    world.server_rt.register_handler(MSG_SINK)
+
+    def sender():
+        yield from client_ep.send_message(
+            MSG_SINK, header=None, header_bytes=8, data=b"abc", origin_counter=origin
+        )
+        yield from origin.wait_for(1, timeout_us=1000.0)
+        return world.sim.now
+
+    p = world.sim.process(sender())
+    world.sim.run()
+    assert origin.value == 1
+    assert p.value > 0
+
+
+def test_completion_counter_needs_internal_message(connected):
+    world, client_ep, _ = connected
+    completion = world.client_rt.create_counter("cmpl")
+    handler_done_at = {}
+
+    def completion_handler(ep, header, data):
+        yield world.sim.timeout(5.0)  # target-side post-processing
+        handler_done_at["t"] = world.sim.now
+
+    world.server_rt.register_handler(MSG_SINK, None, completion_handler)
+
+    def sender():
+        yield from client_ep.send_message(
+            MSG_SINK,
+            header=None,
+            header_bytes=8,
+            data=b"abc",
+            completion_counter=completion,
+        )
+        yield from completion.wait_for(1, timeout_us=10_000.0)
+        return world.sim.now
+
+    p = world.sim.process(sender())
+    world.sim.run()
+    assert completion.value == 1
+    # The counter fires only after the handler ran AND the internal
+    # message flew back.
+    assert p.value > handler_done_at["t"]
+
+
+def test_rendezvous_large_message_delivers_intact(connected):
+    world, client_ep, _ = connected
+    payload = bytes(range(256)) * 256  # 64 KB >> eager threshold
+    got = {}
+
+    def completion_handler(ep, header, data):
+        got["data"] = data
+        yield world.sim.timeout(0)
+
+    world.server_rt.register_handler(MSG_SINK, None, completion_handler)
+    target = world.server_rt.create_counter()
+
+    def sender():
+        yield from client_ep.send_message(
+            MSG_SINK, header=None, header_bytes=8, data=payload, target_counter=target
+        )
+
+    world.sim.process(sender())
+    world.sim.run()
+    assert got["data"] == payload
+    assert target.value == 1
+
+
+def test_rendezvous_releases_staging_buffer(connected):
+    world, client_ep, _ = connected
+    world.server_rt.register_handler(MSG_SINK)
+    payload = bytes(32 * 1024)
+
+    def sender():
+        yield from client_ep.send_message(
+            MSG_SINK, header=None, header_bytes=8, data=payload
+        )
+
+    world.sim.process(sender())
+    world.sim.run()
+    assert client_ep.staged_count == 0  # rendezvous_done released it
+
+
+def test_rendezvous_origin_counter_after_remote_read(connected):
+    world, client_ep, _ = connected
+    world.server_rt.register_handler(MSG_SINK)
+    origin = world.client_rt.create_counter()
+    payload = bytes(32 * 1024)
+
+    def sender():
+        yield from client_ep.send_message(
+            MSG_SINK, header=None, header_bytes=8, data=payload, origin_counter=origin
+        )
+        yield from origin.wait_for(1, timeout_us=100_000.0)
+        return True
+
+    p = world.sim.process(sender())
+    world.sim.run()
+    assert p.value is True
+
+
+def test_header_handler_dest_receives_data_eager(connected):
+    world, client_ep, _ = connected
+    from repro.verbs import Access
+
+    dest_mr = world.server_rt.pd.reg_mr(64, Access.full())
+
+    def header_handler(ep, header, length):
+        return (dest_mr, 4)
+
+    world.server_rt.register_handler(MSG_SINK, header_handler)
+    target = world.server_rt.create_counter()
+
+    def sender():
+        yield from client_ep.send_message(
+            MSG_SINK, header=None, header_bytes=8, data=b"landed", target_counter=target
+        )
+
+    world.sim.process(sender())
+    world.sim.run()
+    assert dest_mr.read(4, 6) == b"landed"
+
+
+def test_header_handler_dest_receives_data_rendezvous(connected):
+    world, client_ep, _ = connected
+    from repro.verbs import Access
+
+    payload = bytes([7]) * 20_000
+    dest_mr = world.server_rt.pd.reg_mr(32 * 1024, Access.full())
+
+    def header_handler(ep, header, length):
+        assert length == len(payload)
+        return (dest_mr, 0)
+
+    world.server_rt.register_handler(MSG_SINK, header_handler)
+    target = world.server_rt.create_counter()
+
+    def sender():
+        yield from client_ep.send_message(
+            MSG_SINK, header=None, header_bytes=8, data=payload, target_counter=target
+        )
+
+    world.sim.process(sender())
+    world.sim.run()
+    assert target.value == 1
+    assert dest_mr.read(0, len(payload)) == payload
+
+
+def test_bidirectional_request_response(connected):
+    """The memcached Get pattern: AM1 request, AM2 response, counter wait."""
+    world, client_ep, server_ep = connected
+    response_counter = world.client_rt.create_counter("resp")
+    got = {}
+
+    def server_completion(ep, header, data):
+        # Server answers over the same (bi-directional) endpoint.
+        yield from ep.send_message(
+            MSG_ECHO,
+            header={"status": "ok"},
+            header_bytes=8,
+            data=data.upper(),
+            target_counter=None,
+        )
+
+    def client_completion(ep, header, data):
+        got["reply"] = (header, data)
+        yield world.sim.timeout(0)
+
+    world.server_rt.register_handler(MSG_SINK, None, server_completion)
+    world.client_rt.register_handler(MSG_ECHO, None, client_completion)
+
+    def client():
+        yield from client_ep.send_message(
+            MSG_SINK, header={"op": "get"}, header_bytes=8, data=b"payload"
+        )
+        # Wait for the reply via its side effect (handler fills `got`).
+        while "reply" not in got:
+            yield world.sim.timeout(1.0)
+        return world.sim.now
+
+    # How does the server know the counter? In memcached the response AM
+    # names the client counter id from the request header; here we just
+    # poll `got` to keep the test focused on transport behaviour.
+    p = world.sim.process(client())
+    world.sim.run()
+    assert got["reply"][0] == {"status": "ok"}
+    assert got["reply"][1] == b"PAYLOAD"
+
+
+def test_wire_response_target_counter_by_id(connected):
+    """Response AM carries the client's counter id (the real design)."""
+    world, client_ep, server_ep = connected
+    client_counter = world.client_rt.create_counter("C")
+
+    def server_completion(ep, header, data):
+        yield from ep.send_message(
+            MSG_ECHO,
+            header=None,
+            header_bytes=8,
+            data=b"reply",
+            target_counter=_CounterRef(header["counter_id"]),
+        )
+
+    world.server_rt.register_handler(MSG_SINK, None, server_completion)
+    world.client_rt.register_handler(MSG_ECHO)
+
+    class _CounterRef:
+        """Duck-typed counter stand-in: only the id crosses the wire."""
+
+        def __init__(self, cid):
+            self.counter_id = cid
+
+    def client():
+        yield from client_ep.send_message(
+            MSG_SINK,
+            header={"counter_id": client_counter.counter_id},
+            header_bytes=8,
+            data=b"q",
+        )
+        yield from client_counter.wait_for(1, timeout_us=100_000.0)
+        return "answered"
+
+    p = world.sim.process(client())
+    world.sim.run()
+    assert p.value == "answered"
+
+
+def test_small_am_one_way_latency_in_envelope(connected):
+    """Small AM latency must land in the verbs 1-2 µs band (plus UCR CPU)."""
+    world, client_ep, _ = connected
+    target = world.server_rt.create_counter()
+    world.server_rt.register_handler(MSG_SINK)
+    t = {}
+
+    def sender():
+        t["start"] = world.sim.now
+        yield from client_ep.send_message(
+            MSG_SINK, header=None, header_bytes=8, data=b"tiny", target_counter=target
+        )
+
+    def watcher():
+        yield from target.wait_for(1)
+        t["end"] = world.sim.now
+
+    world.sim.process(sender())
+    world.sim.process(watcher())
+    world.sim.run()
+    latency = t["end"] - t["start"]
+    assert 1.0 <= latency <= 3.5, latency
+
+
+def test_unknown_msg_id_fails_endpoint_not_runtime(connected):
+    world, client_ep, server_ep = connected
+
+    def sender():
+        yield from client_ep.send_message(99, header=None, header_bytes=8, data=b"?")
+
+    world.sim.process(sender())
+    with pytest.raises(Exception):
+        world.sim.run()

@@ -1,0 +1,61 @@
+"""Fault isolation of the shared progress engine (paper §IV-A)."""
+
+from repro.cluster import CLUSTER_B, Cluster
+from repro.memcached.errors import ServerDownError
+
+
+def test_server_context_survives_client_death_mid_request():
+    """Two clients share one server worker context; one client's endpoint
+    dies while its request is being served.  The response send fails, but
+    the worker context must keep serving the other client."""
+    cluster = Cluster(CLUSTER_B, n_client_nodes=2)
+    cluster.start_server(n_workers=1)  # force both clients onto one context
+    sim = cluster.sim
+
+    doomed = cluster.client("UCR-IB", 0, timeout_us=3000.0)
+    healthy = cluster.client("UCR-IB", 1)
+    outcome = {}
+
+    def doomed_proc():
+        yield from doomed.set("d", b"v")
+        # Fail the *server-side* endpoint for this client right before the
+        # next request, so the server's reply hits a dead endpoint inside
+        # the shared progress loop.
+        client_ep = doomed.transport._endpoints["server"]
+        server_ep = client_ep.qp.remote._ucr_endpoint
+        server_ep.fail("client machine lost power")
+        try:
+            yield from doomed.get("d")
+            outcome["doomed"] = "unexpected success"
+        except ServerDownError:
+            outcome["doomed"] = "timed out as designed"
+
+    def healthy_proc():
+        yield from healthy.set("h", b"steady")
+        errors = 0
+        for _ in range(30):
+            got = yield from healthy.get("h")
+            if got != b"steady":
+                errors += 1
+            yield sim.timeout(300.0)
+        outcome["healthy_errors"] = errors
+
+    sim.process(doomed_proc())
+    sim.process(healthy_proc())
+    sim.run()
+    assert outcome["doomed"] == "timed out as designed"
+    assert outcome["healthy_errors"] == 0
+    # The shared context's progress process is still alive.
+    ctx = cluster.ucr_ports["server"].contexts[0]
+    assert ctx._progress.is_alive
+
+
+def test_internal_message_on_failed_endpoint_is_silent():
+    from repro.testing import UcrWorld
+    from repro.core.messages import InternalWire
+
+    world = UcrWorld()
+    client_ep, _ = world.establish()
+    client_ep.fail("down")
+    client_ep._send_internal(InternalWire(kind="credits", credits_returned=1))
+    world.sim.run()  # nothing escalates

@@ -1,0 +1,133 @@
+"""Multi-server pools: key distribution, per-server stats, failover."""
+
+import pytest
+
+from repro.cluster import CLUSTER_B, Cluster
+from repro.memcached.errors import ServerDownError
+
+
+@pytest.fixture(scope="module")
+def pool():
+    cluster = Cluster(CLUSTER_B, n_client_nodes=2, n_servers=3)
+    cluster.start_server()
+    return cluster
+
+
+def run(cluster, gen):
+    p = cluster.sim.process(gen)
+    cluster.sim.run()
+    assert p.processed
+    return p.value
+
+
+def test_three_servers_boot(pool):
+    assert len(pool.servers) == 3
+    assert pool.server_names == ["server0", "server1", "server2"]
+    assert pool.server is pool.servers["server0"]
+
+
+@pytest.mark.parametrize("transport", ["UCR-IB", "SDP"])
+@pytest.mark.parametrize("distribution", ["modula", "ketama"])
+def test_keys_spread_across_pool(pool, transport, distribution):
+    client = pool.client(transport, distribution=distribution)
+    n_keys = 60
+
+    def scenario():
+        for i in range(n_keys):
+            yield from client.set(f"{transport}-{distribution}-{i}", b"v")
+        out = {}
+        for i in range(n_keys):
+            out[i] = yield from client.get(f"{transport}-{distribution}-{i}")
+        return out
+
+    out = run(pool, scenario())
+    assert all(v == b"v" for v in out.values())
+    # Every server must hold a nontrivial share of the keys.
+    shares = [
+        sum(
+            1
+            for i in range(n_keys)
+            if client.distribution.server_for(f"{transport}-{distribution}-{i}") == s
+        )
+        for s in pool.server_names
+    ]
+    assert min(shares) >= n_keys * 0.1
+    assert sum(shares) == n_keys
+
+
+def test_per_server_stats_isolated(pool):
+    cluster = Cluster(CLUSTER_B, n_client_nodes=1, n_servers=2)
+    cluster.start_server()
+    client = cluster.client("UCR-IB")
+
+    def scenario():
+        # Find a key for each server.
+        key0 = next(
+            f"iso-{i}" for i in range(100)
+            if client.distribution.server_for(f"iso-{i}") == "server0"
+        )
+        key1 = next(
+            f"iso-{i}" for i in range(100)
+            if client.distribution.server_for(f"iso-{i}") == "server1"
+        )
+        yield from client.set(key0, b"zero")
+        yield from client.set(key1, b"one")
+        return key0, key1
+
+    key0, key1 = run(cluster, scenario())
+    assert cluster.servers["server0"].store.get(key0) is not None
+    assert cluster.servers["server0"].store.get(key1) is None
+    assert cluster.servers["server1"].store.get(key1) is not None
+
+
+def test_stats_targets_named_server(pool):
+    client = pool.client("UCR-IB")
+
+    def scenario():
+        s0 = yield from client.stats("server0")
+        s2 = yield from client.stats("server2")
+        return s0, s2
+
+    s0, s2 = run(pool, scenario())
+    assert "curr_items" in s0 and "curr_items" in s2
+
+
+def test_ketama_failover_redistributes():
+    """Remove a dead server from the ring; its keys remap, others stay."""
+    cluster = Cluster(CLUSTER_B, n_client_nodes=1, n_servers=3)
+    cluster.start_server()
+    client = cluster.client("UCR-IB", distribution="ketama", timeout_us=3000.0)
+    keys = [f"fo-{i}" for i in range(40)]
+
+    def scenario():
+        for k in keys:
+            yield from client.set(k, b"v")
+        before = {k: client.distribution.server_for(k) for k in keys}
+        # server1 dies: fail its UCR endpoints and take it off the ring.
+        victim_eps = cluster.ucr_ports["server1"].endpoints
+        for ep in victim_eps:
+            ep.fail("power loss")
+        dead_keys = [k for k, s in before.items() if s == "server1"]
+        if dead_keys:
+            try:
+                yield from client.get(dead_keys[0])
+            except ServerDownError:
+                pass
+            client.distribution.remove_server("server1")
+        # Everything is servable again (remapped keys read as misses).
+        hits = 0
+        for k in keys:
+            assert client.distribution.server_for(k) != "server1"
+            got = yield from client.get(k)
+            hits += got is not None
+        return before, hits, len(dead_keys)
+
+    before, hits, n_dead = run(cluster, scenario())
+    # Keys that never lived on server1 must still hit.
+    assert hits >= len(keys) - n_dead
+    assert n_dead > 0  # the scenario actually exercised failover
+
+
+def test_invalid_n_servers():
+    with pytest.raises(ValueError):
+        Cluster(CLUSTER_B, n_client_nodes=1, n_servers=0)

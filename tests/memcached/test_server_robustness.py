@@ -1,0 +1,173 @@
+"""Server robustness: malformed input, connection churn, concurrency."""
+
+import pytest
+
+from repro.cluster import CLUSTER_A, Cluster
+
+
+@pytest.fixture()
+def cluster():
+    c = Cluster(CLUSTER_A, n_client_nodes=2)
+    c.start_server()
+    return c
+
+
+def run(cluster, gen):
+    p = cluster.sim.process(gen)
+    cluster.sim.run()
+    assert p.processed
+    return p.value
+
+
+def raw_socket(cluster, node=0, transport="10GigE-TOE"):
+    return cluster.stacks[transport][f"client{node}"].socket()
+
+
+def test_malformed_command_gets_error_and_drop(cluster):
+    sock = raw_socket(cluster)
+
+    def scenario():
+        yield from sock.connect("server", 11211)
+        yield from sock.send(b"explode the cache\r\n")
+        reply = yield from sock.recv(64)
+        tail = yield from sock.recv(64)  # server closed: EOF
+        return reply, tail
+
+    reply, tail = run(cluster, scenario())
+    assert reply == b"ERROR\r\n"
+    assert tail == b""
+
+
+def test_bad_data_terminator_drops_connection(cluster):
+    sock = raw_socket(cluster)
+
+    def scenario():
+        yield from sock.connect("server", 11211)
+        yield from sock.send(b"set k 0 0 3\r\nabcXX")  # wrong terminator
+        reply = yield from sock.recv(64)
+        return reply
+
+    assert run(cluster, scenario()) == b"ERROR\r\n"
+
+
+def test_oversized_value_server_error_not_crash(cluster):
+    sock = raw_socket(cluster)
+    big = 1024 * 1024  # one full page: exceeds item ceiling with overhead
+
+    def scenario():
+        yield from sock.connect("server", 11211)
+        yield from sock.send(f"set big 0 0 {big}\r\n".encode() + bytes(big) + b"\r\n")
+        reply = yield from sock.recv(128)
+        # Server is still alive for the next command.
+        yield from sock.send(b"version\r\n")
+        version = yield from sock.recv(128)
+        return reply, version
+
+    reply, version = run(cluster, scenario())
+    assert reply.startswith(b"SERVER_ERROR")
+    assert version.startswith(b"VERSION")
+
+
+def test_quit_closes_cleanly(cluster):
+    sock = raw_socket(cluster)
+
+    def scenario():
+        yield from sock.connect("server", 11211)
+        yield from sock.send(b"quit\r\n")
+        data = yield from sock.recv(64)
+        return data
+
+    assert run(cluster, scenario()) == b""  # EOF, no reply (per protocol)
+
+
+def test_noreply_suppresses_responses(cluster):
+    sock = raw_socket(cluster)
+
+    def scenario():
+        yield from sock.connect("server", 11211)
+        yield from sock.send(b"set nr 0 0 2 noreply\r\nhi\r\nget nr\r\n")
+        # Only the get's reply arrives; a STORED would corrupt the stream.
+        data = yield from sock.recv(256)
+        while b"END\r\n" not in data:
+            data += yield from sock.recv(256)
+        return data
+
+    data = run(cluster, scenario())
+    assert data.startswith(b"VALUE nr 0 2\r\nhi\r\n")
+    assert b"STORED" not in data
+
+
+def test_pipelined_burst_processed_in_order(cluster):
+    sock = raw_socket(cluster)
+
+    def scenario():
+        yield from sock.connect("server", 11211)
+        burst = b"".join(
+            f"set p{i} 0 0 1\r\n{i % 10}\r\n".encode() for i in range(20)
+        )
+        yield from sock.send(burst)
+        got = b""
+        while got.count(b"STORED\r\n") < 20:
+            got += yield from sock.recv(4096)
+        return got
+
+    got = run(cluster, scenario())
+    assert got == b"STORED\r\n" * 20
+
+
+def test_connection_churn_many_shortlived(cluster):
+    """Open/close 30 connections; the server must not leak or wedge."""
+    def scenario():
+        for i in range(30):
+            sock = raw_socket(cluster, node=i % 2)
+            yield from sock.connect("server", 11211)
+            yield from sock.send(b"version\r\n")
+            data = yield from sock.recv(128)
+            assert data.startswith(b"VERSION")
+            sock.close()
+        # One more real op to prove liveness.
+        sock = raw_socket(cluster)
+        yield from sock.connect("server", 11211)
+        yield from sock.send(b"set last 0 0 2\r\nok\r\n")
+        return (yield from sock.recv(64))
+
+    assert run(cluster, scenario()) == b"STORED\r\n"
+
+
+def test_concurrent_mixed_protocol_clients(cluster):
+    """Text, binary and UCR clients hammer the server simultaneously."""
+    text = cluster.client("10GigE-TOE", 0)
+    binary = cluster.client("SDP", 1, binary=True)
+    ucr = cluster.client("UCR-IB", 0)
+    results = []
+
+    def worker(client, tag, n=15):
+        for i in range(n):
+            yield from client.set(f"{tag}-{i}", f"{tag}{i}".encode())
+            got = yield from client.get(f"{tag}-{i}")
+            assert got == f"{tag}{i}".encode()
+        results.append(tag)
+
+    cluster.sim.process(worker(text, "t"))
+    cluster.sim.process(worker(binary, "b"))
+    cluster.sim.process(worker(ucr, "u"))
+    cluster.sim.run()
+    assert sorted(results) == ["b", "t", "u"]
+    assert cluster.server.stats_requests >= 90
+
+
+def test_worker_round_robin_assignment(cluster):
+    """Connections spread across workers (paper §V-A)."""
+    def scenario():
+        socks = []
+        for i in range(8):
+            sock = raw_socket(cluster, node=i % 2)
+            yield from sock.connect("server", 11211)
+            yield from sock.send(b"version\r\n")
+            yield from sock.recv(128)
+            socks.append(sock)
+        return True
+
+    assert run(cluster, scenario())
+    loads = [w.requests_handled for w in cluster.server.workers]
+    assert all(load >= 1 for load in loads)  # every worker served someone

@@ -1,0 +1,66 @@
+"""Property-based SRQ tests: pool semantics vs a deque model."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.sim import Simulator
+from repro.verbs.srq import SharedReceiveQueue
+from repro.verbs.wr import RecvWR, Sge
+
+
+class _FakeMr:
+    size = 64
+
+    def read(self, offset, length):
+        return b""
+
+
+def make_wr(tag):
+    sge = Sge.__new__(Sge)
+    sge.mr = _FakeMr()
+    sge.offset = 0
+    sge.length = 64
+    wr = RecvWR(sge=sge, context=tag)
+    return wr
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.sampled_from(["post", "pop"]), min_size=1, max_size=80),
+    st.integers(min_value=1, max_value=20),
+)
+def test_srq_matches_fifo_model(ops, max_wr):
+    sim = Simulator()
+    srq = SharedReceiveQueue(sim, max_wr=max_wr, low_watermark=2)
+    model = []
+    counter = 0
+    for op in ops:
+        if op == "post":
+            if len(model) >= max_wr:
+                continue  # full: caller wouldn't post
+            srq.post_recv(make_wr(counter))
+            model.append(counter)
+            counter += 1
+        else:
+            got = srq.pop()
+            want = model.pop(0) if model else None
+            assert (got.context if got else None) == want
+    assert len(srq) == len(model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=0, max_value=10))
+def test_low_watermark_fires_once_per_crossing(depth, watermark):
+    sim = Simulator()
+    srq = SharedReceiveQueue(sim, max_wr=depth + 1, low_watermark=watermark)
+    calls = []
+    srq.on_low = lambda s: calls.append(len(s))
+    for i in range(depth):
+        srq.post_recv(make_wr(i))
+    for _ in range(depth):
+        srq.pop()
+    srq.pop()  # empty pop also signals at most the same crossing
+    # At most one signal per crossing below the watermark.
+    assert len(calls) <= max(1, 2)
+    for n in calls:
+        assert n < max(watermark, 1)

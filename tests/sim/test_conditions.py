@@ -1,0 +1,119 @@
+"""Unit tests for AnyOf / AllOf composite events."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+
+    def proc():
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(10.0, value="slow")
+        result = yield sim.any_of([fast, slow])
+        return (sim.now, fast in result, slow in result, result[fast])
+
+    p = sim.process(proc())
+    sim.run()
+    now, has_fast, has_slow, value = p.value
+    assert now == 1.0
+    assert has_fast and not has_slow
+    assert value == "fast"
+
+
+def test_all_of_waits_for_all():
+    sim = Simulator()
+
+    def proc():
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(10.0, value="b")
+        result = yield sim.all_of([a, b])
+        return (sim.now, len(result))
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == (10.0, 2)
+
+
+def test_any_of_with_already_processed_event():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("pre")
+
+    def proc():
+        yield sim.timeout(5.0)
+        result = yield sim.any_of([ev, sim.timeout(100.0)])
+        return (sim.now, ev in result)
+
+    p = sim.process(proc())
+    sim.run(until=20.0)
+    assert p.value == (5.0, True)
+
+
+def test_empty_condition_fires_immediately():
+    sim = Simulator()
+
+    def proc():
+        result = yield sim.all_of([])
+        return (sim.now, len(result))
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == (0.0, 0)
+
+
+def test_condition_failure_propagates():
+    sim = Simulator()
+    ev = sim.event()
+
+    def proc():
+        try:
+            yield sim.any_of([ev, sim.timeout(100.0)])
+        except KeyError:
+            return "failed-branch"
+
+    p = sim.process(proc())
+    ev.fail(KeyError("nope"))
+    sim.run(until=200.0)
+    assert p.value == "failed-branch"
+
+
+def test_condition_rejects_cross_simulator_events():
+    sim_a = Simulator()
+    sim_b = Simulator()
+    with pytest.raises(ValueError):
+        sim_a.any_of([sim_a.event(), sim_b.event()])
+
+
+def test_condition_value_getitem_missing_raises():
+    sim = Simulator()
+
+    def proc():
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(10.0, value="slow")
+        result = yield sim.any_of([fast, slow])
+        with pytest.raises(KeyError):
+            _ = result[slow]
+        return True
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value is True
+
+
+def test_timeout_pattern_for_wait_with_deadline():
+    """The UCR wait-with-timeout idiom: value event vs deadline event."""
+    sim = Simulator()
+
+    def proc(arrival_delay, deadline):
+        data = sim.timeout(arrival_delay, value="data")
+        timer = sim.timeout(deadline)
+        result = yield sim.any_of([data, timer])
+        return "ok" if data in result else "timed-out"
+
+    p_fast = sim.process(proc(5.0, 50.0))
+    p_slow = sim.process(proc(500.0, 50.0))
+    sim.run()
+    assert p_fast.value == "ok"
+    assert p_slow.value == "timed-out"

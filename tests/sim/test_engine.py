@@ -1,0 +1,192 @@
+"""Unit tests for the DES engine: clock, ordering, run modes."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.engine import UnhandledFailure
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_clock_custom_start():
+    sim = Simulator(start_time=100.0)
+    assert sim.now == 100.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(7.5)
+        return sim.now
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == 7.5
+    assert sim.now == 7.5
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def proc():
+        got = yield sim.timeout(1.0, value="payload")
+        return got
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "payload"
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_same_time_events_fifo_order():
+    sim = Simulator()
+    order = []
+
+    def maker(tag):
+        def proc():
+            yield sim.timeout(5.0)
+            order.append(tag)
+        return proc
+
+    for tag in range(10):
+        sim.process(maker(tag)())
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+
+    def proc():
+        while True:
+            yield sim.timeout(10.0)
+
+    sim.process(proc())
+    sim.run(until=35.0)
+    assert sim.now == 35.0
+
+
+def test_run_until_past_raises():
+    sim = Simulator(start_time=50.0)
+    with pytest.raises(ValueError):
+        sim.run(until=10.0)
+
+
+def test_run_until_includes_boundary_events():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        yield sim.timeout(10.0)
+        fired.append(sim.now)
+
+    sim.process(proc())
+    sim.run(until=10.0)
+    assert fired == [10.0]
+
+
+def test_step_on_empty_schedule_raises():
+    sim = Simulator()
+    with pytest.raises(RuntimeError):
+        sim.step()
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(3.0)
+    assert sim.peek() == 3.0
+
+
+def test_run_until_event_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(2.0)
+        return 42
+
+    p = sim.process(proc())
+    assert sim.run_until_event(p) == 42
+
+
+def test_run_until_event_deadlock_detection():
+    sim = Simulator()
+    never = sim.event()
+
+    def proc():
+        yield never
+
+    sim.process(proc())
+    with pytest.raises(RuntimeError, match="deadlock"):
+        sim.run_until_event(never)
+
+
+def test_unhandled_event_failure_escalates():
+    sim = Simulator()
+    ev = sim.event()
+    ev.fail(ValueError("boom"))
+    with pytest.raises(UnhandledFailure):
+        sim.run()
+
+
+def test_handled_event_failure_does_not_escalate():
+    sim = Simulator()
+    ev = sim.event()
+
+    def proc():
+        try:
+            yield ev
+        except ValueError:
+            return "caught"
+
+    p = sim.process(proc())
+    ev.fail(ValueError("boom"))
+    sim.run()
+    assert p.value == "caught"
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+
+    def proc():
+        for _ in range(5):
+            yield sim.timeout(1.0)
+
+    sim.process(proc())
+    sim.run()
+    assert sim.events_processed >= 5
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError())
+
+
+def test_event_value_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+    with pytest.raises(RuntimeError):
+        _ = ev.ok
+
+
+def test_fail_requires_exception_instance():
+    sim = Simulator()
+    ev = sim.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]

@@ -1,0 +1,26 @@
+"""Shared fixtures: a two-node environment per socket stack.
+
+The harness itself lives in :mod:`repro.testing` so the benchmark suite
+can use it without importing the tests package.
+"""
+
+import pytest
+
+from repro.sockets import (
+    SDP_BCOPY,
+    STACK_IPOIB,
+    STACK_TCP_1G,
+    STACK_TOE_10G,
+)
+from repro.testing import NETWORK_FOR_STACK, SocketWorld  # noqa: F401
+
+
+@pytest.fixture
+def world():
+    return SocketWorld()
+
+
+@pytest.fixture(params=[STACK_TCP_1G, STACK_TOE_10G, STACK_IPOIB, SDP_BCOPY],
+                ids=["tcp1g", "toe10g", "ipoib", "sdp"])
+def any_world(request):
+    return SocketWorld(params=request.param)

@@ -1,0 +1,103 @@
+"""Cost-model behaviour: stack latency ordering, jitter, zcopy ablation."""
+
+import pytest
+
+from repro.sockets import SDP_BCOPY, SDP_QDR_JITTER, STACK_IPOIB, STACK_TOE_10G
+
+from repro.testing import SocketWorld, measure_echo_rtt as measure_rtt
+
+
+def test_sockets_on_ib_small_rtt_in_paper_band():
+    """SDP/IPoIB small one-way ≈ 20-25 µs (paper §I) => RTT ≈ 40-60 µs."""
+    for params in (SDP_BCOPY, STACK_IPOIB):
+        rtt = measure_rtt(params, 64)
+        assert 30.0 <= rtt <= 70.0, f"{params.name}: {rtt}"
+
+
+def test_toe_faster_than_ib_sockets_small():
+    toe = measure_rtt(STACK_TOE_10G, 64)
+    sdp = measure_rtt(SDP_BCOPY, 64)
+    ipoib = measure_rtt(STACK_IPOIB, 64)
+    assert toe < sdp
+    assert toe < ipoib
+
+
+def test_ipoib_bandwidth_poor_for_large_transfers():
+    """Per-fragment kernel work throttles IPoIB at 512 KB."""
+    ipoib = measure_rtt(STACK_IPOIB, 512 * 1024, n_ops=2)
+    sdp = measure_rtt(SDP_BCOPY, 512 * 1024, n_ops=2)
+    assert ipoib > sdp  # SDP's 8K chunks beat IPoIB's 2K fragments
+
+
+def test_sdp_jitter_on_qdr_profile():
+    """The jittered SDP profile must show dispersion the smooth one lacks."""
+
+    def samples_for(params):
+        world = SocketWorld(params=params, seed=11)
+        client, server = world.connect_pair()
+        out = []
+
+        def server_proc():
+            while True:
+                try:
+                    data = yield from server.recv_exactly(64)
+                except EOFError:
+                    return
+                yield from server.send(data)
+
+        def client_proc():
+            for _ in range(30):
+                t0 = world.sim.now
+                yield from client.send(bytes(64))
+                yield from client.recv_exactly(64)
+                out.append(world.sim.now - t0)
+            client.close()
+
+        world.sim.process(server_proc())
+        world.sim.process(client_proc())
+        world.sim.run()
+        return out
+
+    import numpy as np
+
+    smooth = samples_for(SDP_BCOPY)
+    noisy = samples_for(SDP_QDR_JITTER)
+    cv_smooth = np.std(smooth) / np.mean(smooth)
+    cv_noisy = np.std(noisy) / np.mean(noisy)
+    assert cv_noisy > cv_smooth + 0.05
+    assert np.mean(noisy) > np.mean(smooth)
+
+
+def test_sdp_zcopy_helps_large_hurts_small():
+    """Ablation: the zcopy threshold exists for a reason."""
+    zcopy = SDP_BCOPY.with_zcopy(threshold=16 * 1024, setup_us=20.0)
+    large_bcopy = measure_rtt(SDP_BCOPY, 256 * 1024, n_ops=2)
+    large_zcopy = measure_rtt(zcopy, 256 * 1024, n_ops=2)
+    assert large_zcopy < large_bcopy  # no copies, no chunk management
+
+    # Force zcopy for tiny messages: the setup cost dominates.
+    always_zcopy = SDP_BCOPY.with_zcopy(threshold=1, setup_us=20.0)
+    small_bcopy = measure_rtt(SDP_BCOPY, 64)
+    small_zcopy = measure_rtt(always_zcopy, 64)
+    assert small_zcopy > small_bcopy
+
+
+def test_rtt_grows_with_payload():
+    prev = 0.0
+    for size in (64, 4096, 65536):
+        rtt = measure_rtt(STACK_TOE_10G, size, n_ops=3)
+        assert rtt > prev
+        prev = rtt
+
+
+def test_with_jitter_preserves_other_fields():
+    j = SDP_BCOPY.with_jitter(5.0, 1.0)
+    assert j.jitter_mean_us == 5.0
+    assert j.syscall_us == SDP_BCOPY.syscall_us
+    assert j.name == SDP_BCOPY.name
+
+
+def test_with_zcopy_sets_threshold_and_name():
+    z = SDP_BCOPY.with_zcopy(8192)
+    assert z.zcopy_threshold == 8192
+    assert "zcopy" in z.name

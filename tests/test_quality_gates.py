@@ -1,0 +1,105 @@
+"""Repository quality gates: docs, determinism, API hygiene."""
+
+import ast
+import importlib
+import pathlib
+import pkgutil
+
+import pytest
+
+import repro
+
+SRC = pathlib.Path(repro.__file__).parent
+
+
+def all_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield info.name
+
+
+def test_every_module_has_a_docstring():
+    missing = []
+    for name in all_modules():
+        mod = importlib.import_module(name)
+        if not (mod.__doc__ or "").strip():
+            missing.append(name)
+    assert missing == []
+
+
+def test_every_public_class_and_function_documented():
+    undocumented = []
+    for path in SRC.rglob("*.py"):
+        tree = ast.parse(path.read_text())
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node.name.startswith("_"):
+                    continue
+                if not ast.get_docstring(node):
+                    # Tiny property getters and dataclass helpers excepted.
+                    body = [n for n in node.body if not isinstance(n, ast.Pass)]
+                    if len(body) <= 2:
+                        continue
+                    undocumented.append(f"{path.relative_to(SRC)}:{node.name}")
+    assert undocumented == [], undocumented
+
+
+def test_public_api_importable_and_versioned():
+    assert repro.__version__
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_all_exports_exist():
+    """Every name in every package's __all__ must resolve."""
+    for name in all_modules():
+        mod = importlib.import_module(name)
+        for symbol in getattr(mod, "__all__", []):
+            assert hasattr(mod, symbol), f"{name}.{symbol} missing"
+
+
+def test_full_stack_determinism():
+    """Two identical fast Figure-5 panels must agree to the bit."""
+    from repro.cluster import CLUSTER_B, Cluster
+    from repro.workloads import NON_INTERLEAVED_10_90, MemslapRunner
+
+    def one_run():
+        cluster = Cluster(CLUSTER_B, n_client_nodes=2, seed=99)
+        cluster.start_server()
+        result = MemslapRunner(
+            cluster, "SDP", 256, NON_INTERLEAVED_10_90,
+            n_clients=2, n_ops_per_client=30,
+        ).run()
+        return (result.latency.samples, result.elapsed_us)
+
+    a = one_run()
+    b = one_run()
+    assert a == b
+
+
+def test_no_wall_clock_leakage():
+    """Simulated results must not depend on host time/random state."""
+    import random
+    import time
+
+    from repro.cluster import CLUSTER_A, Cluster
+
+    def probe():
+        cluster = Cluster(CLUSTER_A, n_client_nodes=1, seed=5)
+        cluster.start_server()
+        client = cluster.client("UCR-IB")
+
+        def scenario():
+            yield from client.set("det", bytes(128))
+            t0 = cluster.sim.now
+            yield from client.get("det")
+            return cluster.sim.now - t0
+
+        p = cluster.sim.process(scenario())
+        cluster.sim.run()
+        return p.value
+
+    first = probe()
+    random.seed(time.time_ns() % 2**31)  # perturb global RNG state
+    random.random()
+    second = probe()
+    assert first == second

@@ -1,0 +1,154 @@
+"""RDMA READ/WRITE semantics: one-sided data movement and access control."""
+
+import pytest
+
+from repro.verbs import Access, Opcode, SendWR, Sge, WcStatus
+
+
+def test_rdma_write_moves_data_without_remote_recv(pair):
+    remote = pair.mr("b", 128, Access.full())
+    local = pair.mr("a", 128)
+    local.write(0, b"one-sided write")
+    pair.qp_a.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_WRITE,
+            sge=Sge(local, 0, 15),
+            remote_rkey=remote.rkey,
+            remote_offset=10,
+        )
+    )
+    pair.sim.run()
+    assert remote.read(10, 15) == b"one-sided write"
+    assert pair.cq_b.poll(8) == []  # no remote completion for RDMA WRITE
+    wcs = pair.cq_a.poll(8)
+    assert len(wcs) == 1 and wcs[0].ok
+
+
+def test_rdma_read_fetches_remote_data(pair):
+    remote = pair.mr("b", 128, Access.full())
+    remote.write(0, b"server-side item value")
+    local = pair.mr("a", 128)
+    pair.qp_a.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_READ,
+            sge=Sge(local, 0, 22),
+            remote_rkey=remote.rkey,
+            remote_offset=0,
+        )
+    )
+    pair.sim.run()
+    assert local.read(0, 22) == b"server-side item value"
+    wcs = pair.cq_a.poll(8)
+    assert len(wcs) == 1 and wcs[0].ok and wcs[0].byte_len == 22
+
+
+def test_rdma_read_requires_remote_read_permission(pair):
+    remote = pair.mr("b", 64, Access.LOCAL_READ | Access.LOCAL_WRITE)
+    local = pair.mr("a", 64)
+    pair.qp_a.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_READ,
+            sge=Sge(local, 0, 8),
+            remote_rkey=remote.rkey,
+        )
+    )
+    pair.sim.run()
+    wcs = pair.cq_a.poll(8)
+    assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+
+
+def test_rdma_write_requires_remote_write_permission(pair):
+    remote = pair.mr("b", 64, Access.LOCAL_READ | Access.LOCAL_WRITE)
+    local = pair.mr("a", 64)
+    local.write(0, b"denied")
+    pair.qp_a.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_WRITE,
+            sge=Sge(local, 0, 6),
+            remote_rkey=remote.rkey,
+        )
+    )
+    pair.sim.run()
+    wcs = pair.cq_a.poll(8)
+    assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+    assert remote.read(0, 6) == bytes(6)  # untouched
+
+
+def test_bad_rkey_fails(pair):
+    local = pair.mr("a", 64)
+    pair.qp_a.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_READ,
+            sge=Sge(local, 0, 8),
+            remote_rkey=0xDEAD,
+        )
+    )
+    pair.sim.run()
+    wcs = pair.cq_a.poll(8)
+    assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+
+
+def test_out_of_bounds_rdma_write_fails(pair):
+    remote = pair.mr("b", 16, Access.full())
+    local = pair.mr("a", 64)
+    pair.qp_a.post_send(
+        SendWR(
+            opcode=Opcode.RDMA_WRITE,
+            sge=Sge(local, 0, 32),
+            remote_rkey=remote.rkey,
+            remote_offset=0,
+        )
+    )
+    pair.sim.run()
+    wcs = pair.cq_a.poll(8)
+    assert wcs[0].status is WcStatus.REM_ACCESS_ERR
+
+
+def test_deregistered_mr_refuses_remote_access(pair):
+    remote = pair.mr("b", 64, Access.full())
+    pair.pd_b.dereg_mr(remote)
+    local = pair.mr("a", 64)
+    pair.qp_a.post_send(
+        SendWR(opcode=Opcode.RDMA_READ, sge=Sge(local, 0, 8), remote_rkey=remote.rkey)
+    )
+    pair.sim.run()
+    assert pair.cq_a.poll(8)[0].status is WcStatus.REM_ACCESS_ERR
+
+
+def test_rdma_read_latency_includes_round_trip(pair):
+    """READ must cost more than a one-way SEND of the same size."""
+    remote = pair.mr("b", 4096, Access.full())
+    remote.write(0, bytes(4096))
+    local = pair.mr("a", 4096)
+    done = {}
+
+    def waiter():
+        yield pair.cq_a.wait()
+        done["t"] = pair.sim.now
+
+    pair.sim.process(waiter())
+    pair.qp_a.post_send(
+        SendWR(opcode=Opcode.RDMA_READ, sge=Sge(local), remote_rkey=remote.rkey)
+    )
+    pair.sim.run()
+    one_way_floor = pair.net.params.serialization_time(4096)
+    assert done["t"] > one_way_floor + pair.net.params.one_way_delay()
+
+
+def test_wr_validation():
+    from repro.verbs import Opcode, SendWR
+
+    with pytest.raises(ValueError):
+        SendWR(opcode=Opcode.SEND)  # no payload
+    with pytest.raises(ValueError):
+        SendWR(opcode=Opcode.RDMA_WRITE, inline_data=b"x")  # no rkey/sge
+    with pytest.raises(ValueError):
+        SendWR(opcode=Opcode.RECV)
+
+
+def test_sge_bounds_validation(pair):
+    mr = pair.mr("a", 16)
+    with pytest.raises(IndexError):
+        Sge(mr, 10, 10)
+    with pytest.raises(IndexError):
+        Sge(mr, -1, 4)

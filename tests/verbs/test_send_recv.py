@@ -1,0 +1,160 @@
+"""SEND/RECV semantics: data integrity, completions, latency, RNR."""
+
+import pytest
+
+from repro.verbs import Access, Opcode, RecvWR, SendWR, Sge, WcStatus
+
+
+def run_send(pair, data: bytes, post_recv=True):
+    """Post a recv at B, send *data* from A, run to completion."""
+    recv_mr = pair.mr("b", max(len(data), 1), Access.local_only())
+    if post_recv:
+        pair.qp_b.post_recv(RecvWR(sge=Sge(recv_mr)))
+    send_mr = pair.mr("a", max(len(data), 1))
+    send_mr.write(0, data)
+    pair.qp_a.post_send(SendWR(opcode=Opcode.SEND, sge=Sge(send_mr, 0, len(data))))
+    pair.sim.run()
+    return recv_mr
+
+
+def test_send_places_data_in_recv_buffer(pair):
+    recv_mr = run_send(pair, b"hello world")
+    assert recv_mr.read(0, 11) == b"hello world"
+
+
+def test_recv_completion_carries_data_and_length(pair):
+    recv_mr = pair.mr("b", 64, Access.local_only())
+    pair.qp_b.post_recv(RecvWR(sge=Sge(recv_mr), context="mybuf"))
+    pair.qp_a.post_send(SendWR(opcode=Opcode.SEND, inline_data=b"abc"))
+    pair.sim.run()
+    wcs = pair.cq_b.poll(8)
+    assert len(wcs) == 1
+    wc = wcs[0]
+    assert wc.ok
+    assert wc.opcode is Opcode.RECV
+    assert wc.byte_len == 3
+    assert wc.data == b"abc"
+    assert wc.context == "mybuf"
+
+
+def test_send_completion_signaled(pair):
+    recv_mr = pair.mr("b", 64, Access.local_only())
+    pair.qp_b.post_recv(RecvWR(sge=Sge(recv_mr)))
+    wr = SendWR(opcode=Opcode.SEND, inline_data=b"x", signaled=True, context="op7")
+    pair.qp_a.post_send(wr)
+    pair.sim.run()
+    wcs = pair.cq_a.poll(8)
+    assert len(wcs) == 1
+    assert wcs[0].wr_id == wr.wr_id
+    assert wcs[0].context == "op7"
+    assert wcs[0].ok
+
+
+def test_unsignaled_send_produces_no_completion(pair):
+    recv_mr = pair.mr("b", 64, Access.local_only())
+    pair.qp_b.post_recv(RecvWR(sge=Sge(recv_mr)))
+    pair.qp_a.post_send(SendWR(opcode=Opcode.SEND, inline_data=b"x", signaled=False))
+    pair.sim.run()
+    assert pair.cq_a.poll(8) == []
+    assert len(pair.cq_b.poll(8)) == 1  # recv side still completes
+
+
+def test_small_send_latency_in_verbs_envelope(pair):
+    """One-way latency of a tiny SEND must land in the 1-2 µs band."""
+    recv_mr = pair.mr("b", 64, Access.local_only())
+    pair.qp_b.post_recv(RecvWR(sge=Sge(recv_mr)))
+    arrival = {}
+
+    def waiter():
+        wc = yield pair.cq_b.wait()
+        arrival["t"] = pair.sim.now
+        return wc
+
+    pair.sim.process(waiter())
+    pair.qp_a.post_send(SendWR(opcode=Opcode.SEND, inline_data=b"ping"))
+    pair.sim.run()
+    assert 0.5 <= arrival["t"] <= 2.0
+
+
+def test_rnr_when_no_recv_posted(pair):
+    """RC send into an empty receive queue fails the sender."""
+    pair.qp_a.post_send(SendWR(opcode=Opcode.SEND, inline_data=b"x", signaled=True))
+    pair.sim.run()
+    wcs = pair.cq_a.poll(8)
+    assert len(wcs) == 1
+    assert wcs[0].status is WcStatus.RNR_RETRY_EXC_ERR
+
+
+def test_recvs_consumed_in_fifo_order(pair):
+    mr1 = pair.mr("b", 16, Access.local_only())
+    mr2 = pair.mr("b", 16, Access.local_only())
+    pair.qp_b.post_recv(RecvWR(sge=Sge(mr1), context=1))
+    pair.qp_b.post_recv(RecvWR(sge=Sge(mr2), context=2))
+    pair.qp_a.post_send(SendWR(opcode=Opcode.SEND, inline_data=b"first"))
+    pair.qp_a.post_send(SendWR(opcode=Opcode.SEND, inline_data=b"second"))
+    pair.sim.run()
+    assert mr1.read(0, 5) == b"first"
+    assert mr2.read(0, 6) == b"second"
+    contexts = [wc.context for wc in pair.cq_b.poll(8)]
+    assert contexts == [1, 2]
+
+
+def test_payload_larger_than_recv_buffer_errors(pair):
+    tiny = pair.mr("b", 4, Access.local_only())
+    pair.qp_b.post_recv(RecvWR(sge=Sge(tiny)))
+    pair.qp_a.post_send(
+        SendWR(opcode=Opcode.SEND, inline_data=b"way too long", signaled=True)
+    )
+    pair.sim.run()
+    recv_wcs = pair.cq_b.poll(8)
+    assert recv_wcs[0].status is WcStatus.LOC_LEN_ERR
+    send_wcs = pair.cq_a.poll(8)
+    assert send_wcs[0].status is WcStatus.REM_ACCESS_ERR
+
+
+def test_large_message_latency_scales_with_bandwidth(pair):
+    """A 512 KB SEND must be dominated by serialization time."""
+    size = 512 * 1024
+    recv_mr = pair.mr("b", size, Access.local_only())
+    pair.qp_b.post_recv(RecvWR(sge=Sge(recv_mr)))
+    send_mr = pair.mr("a", size)
+    send_mr.write(0, bytes(size))
+    arrival = {}
+
+    def waiter():
+        yield pair.cq_b.wait()
+        arrival["t"] = pair.sim.now
+
+    pair.sim.process(waiter())
+    pair.qp_a.post_send(SendWR(opcode=Opcode.SEND, sge=Sge(send_mr)))
+    pair.sim.run()
+    ser = pair.net.params.serialization_time(size)
+    assert arrival["t"] == pytest.approx(ser, rel=0.05)
+
+
+def test_post_send_on_unconnected_qp_raises(pair):
+    lone = pair.hca_a.create_qp(pair.pd_a, pair.cq_a, pair.cq_a)
+    with pytest.raises(RuntimeError):
+        lone.post_send(SendWR(opcode=Opcode.SEND, inline_data=b"x"))
+
+
+def test_double_connect_rejected(pair):
+    with pytest.raises(RuntimeError):
+        pair.qp_a.connect(pair.qp_b)
+
+
+def test_send_queue_depth_limit(pair):
+    small = pair.hca_a.create_qp(pair.pd_a, pair.cq_a, pair.cq_a, max_send_wr=2)
+    small.connect(pair.qp_b)
+    small.post_send(SendWR(opcode=Opcode.SEND, inline_data=b"1", signaled=False))
+    small.post_send(SendWR(opcode=Opcode.SEND, inline_data=b"2", signaled=False))
+    with pytest.raises(RuntimeError, match="send queue full"):
+        small.post_send(SendWR(opcode=Opcode.SEND, inline_data=b"3", signaled=False))
+
+
+def test_recv_queue_depth_limit(pair):
+    limited = pair.hca_b.create_qp(pair.pd_b, pair.cq_b, pair.cq_b, max_recv_wr=1)
+    mr = pair.mr("b", 16, Access.local_only())
+    limited.post_recv(RecvWR(sge=Sge(mr)))
+    with pytest.raises(RuntimeError, match="receive queue full"):
+        limited.post_recv(RecvWR(sge=Sge(mr)))
