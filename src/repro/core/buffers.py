@@ -15,6 +15,7 @@ so memcached does not reimplement it (§I-B).
 
 from __future__ import annotations
 
+from repro.core.errors import BufferLifecycleError
 from repro.verbs.enums import Access
 from repro.verbs.mr import MemoryRegion, ProtectionDomain
 
@@ -22,20 +23,33 @@ from repro.verbs.mr import MemoryRegion, ProtectionDomain
 class PooledBuffer:
     """A slice-sized registered buffer checked out of a :class:`BufferPool`."""
 
-    __slots__ = ("pool", "mr", "in_use")
+    __slots__ = ("pool", "mr", "in_use", "generation")
 
     def __init__(self, pool: "BufferPool", mr: MemoryRegion) -> None:
         self.pool = pool
         self.mr = mr
         self.in_use = False
+        #: Bumped on every checkout; lets the sanitizer tell "same buffer,
+        #: new owner" apart from "still my checkout".
+        self.generation = 0
 
     def write(self, data: bytes) -> None:
+        if not self.in_use:
+            raise BufferLifecycleError(
+                f"{self.pool.name}: write to a released buffer (use-after-release)"
+            )
         self.mr.write(0, data)
 
     def read(self, length: int) -> bytes:
+        if not self.in_use:
+            raise BufferLifecycleError(
+                f"{self.pool.name}: read from a released buffer (use-after-release)"
+            )
         return self.mr.read(0, length)
 
     def release(self) -> None:
+        if not self.in_use:
+            raise BufferLifecycleError(f"{self.pool.name}: double release")
         self.pool.put(self)
 
 
@@ -46,6 +60,21 @@ class BufferPool:
     one-time cost per growth step via the ``on_grow`` hook) but never
     shrinks, mirroring MVAPICH-style registration caches.
     """
+
+    __slots__ = (
+        "pd",
+        "buffer_bytes",
+        "access",
+        "name",
+        "_free",
+        "total_created",
+        "grow_events",
+    )
+
+    #: Sanitizer observers notified as ``on_get(pool, buf)`` /
+    #: ``on_put(pool, buf)`` around every checkout and return (see
+    #: :mod:`repro.sanitize.buffers`); shared by all pools, normally empty.
+    observers: list = []
 
     def __init__(
         self,
@@ -79,12 +108,17 @@ class BufferPool:
         else:
             buf = self._free.pop()
         buf.in_use = True
+        buf.generation += 1
+        for observer in BufferPool.observers:
+            observer.on_get(self, buf)
         return buf
 
     def put(self, buf: PooledBuffer) -> None:
         """Return a buffer to the free list."""
         if not buf.in_use:
-            raise ValueError(f"{self.name}: double release")
+            raise BufferLifecycleError(f"{self.name}: double release")
+        for observer in BufferPool.observers:
+            observer.on_put(self, buf)
         buf.in_use = False
         self._free.append(buf)
 

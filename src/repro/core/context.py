@@ -30,6 +30,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class UcrContext:
     """One progress engine (thread) of a UCR runtime."""
 
+    __slots__ = (
+        "runtime",
+        "sim",
+        "node",
+        "name",
+        "cq",
+        "_endpoints",
+        "messages_processed",
+        "_progress",
+    )
+
     def __init__(self, runtime: "UcrRuntime", name: str = "ctx") -> None:
         self.runtime = runtime
         self.sim = runtime.sim

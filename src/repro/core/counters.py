@@ -36,6 +36,8 @@ class UcrCounter:
     assigns the wire-visible id.
     """
 
+    __slots__ = ("sim", "counter_id", "name", "_value", "_waiters")
+
     def __init__(self, sim: "Simulator", counter_id: int, name: str = "") -> None:
         self.sim = sim
         self.counter_id = counter_id
@@ -98,3 +100,47 @@ class UcrCounter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<UcrCounter {self.name}={self._value} waiters={len(self._waiters)}>"
+
+
+class SanitizerCounters:
+    """Tallies of what the runtime sanitizers observed (see :mod:`repro.sanitize`).
+
+    One instance lives on each :class:`~repro.sanitize.SanitizerConfig`;
+    record-mode sanitizers bump these instead of raising, so a suite-wide
+    fixture can assert on them after the fact.
+    """
+
+    __slots__ = (
+        "buffer_gets",
+        "buffer_puts",
+        "use_after_release",
+        "double_release",
+        "write_after_free",
+        "cq_pushes",
+        "cq_overflows",
+        "bad_state_posts",
+        "events_digested",
+        "slab_checks",
+        "slab_violations",
+    )
+
+    def __init__(self) -> None:
+        self.buffer_gets = 0
+        self.buffer_puts = 0
+        self.use_after_release = 0
+        self.double_release = 0
+        self.write_after_free = 0
+        self.cq_pushes = 0
+        self.cq_overflows = 0
+        self.bad_state_posts = 0
+        self.events_digested = 0
+        self.slab_checks = 0
+        self.slab_violations = 0
+
+    def snapshot(self) -> dict:
+        """Name -> value mapping (stable order, for reports and tests)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        hot = {k: v for k, v in self.snapshot().items() if v}
+        return f"<SanitizerCounters {hot or 'idle'}>"

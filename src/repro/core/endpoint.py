@@ -45,7 +45,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _ep_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class _SendCompletionCookie:
     """Rides send-CQ completions so the progress engine can finish them."""
 
@@ -56,7 +56,10 @@ class _SendCompletionCookie:
     dest: Any = None
 
 
-class Endpoint:
+# Examples and tests monkeypatch endpoint methods per instance (e.g.
+# fault_tolerance.py replaces send_message on a live endpoint), which
+# __slots__ would forbid -- so the endpoint stays a regular class.
+class Endpoint:  # repro-lint: disable=L003
     """One UCR communication endpoint (see module docstring)."""
 
     def __init__(

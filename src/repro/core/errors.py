@@ -26,3 +26,13 @@ class EndpointClosed(UcrError):
 
 class FlowControlError(UcrError):
     """Internal invariant violation in credit accounting (a bug if seen)."""
+
+
+class BufferLifecycleError(UcrError, ValueError):
+    """A pooled buffer was used outside its checkout lifetime.
+
+    Raised on double release and, with the buffer sanitizer installed
+    (:mod:`repro.sanitize.buffers`), on use-after-release and
+    write-after-free.  Also a :class:`ValueError` for compatibility with
+    callers that guarded the old ``double release`` error.
+    """

@@ -27,7 +27,7 @@ INTERNAL_MESSAGE_BYTES = 16
 _am_seq = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class RdmaDescriptor:
     """Where a rendezvous payload lives at the origin (rkey + extent)."""
 
@@ -36,7 +36,7 @@ class RdmaDescriptor:
     length: int
 
 
-@dataclass
+@dataclass(slots=True)
 class AmWire:
     """One active message as it crosses the wire."""
 
@@ -70,7 +70,7 @@ class AmWire:
         return n
 
 
-@dataclass
+@dataclass(slots=True)
 class InternalWire:
     """Runtime-internal message: counter updates, credit returns, and
     rendezvous-done notifications (which release the origin's staging

@@ -37,7 +37,7 @@ _counter_ids = itertools.count(1)
 _RDV_CLASSES = (16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024, 4 * 1024 * 1024)
 
 
-@dataclass
+@dataclass(slots=True)
 class HandlerEntry:
     """One registered active-message id."""
 
@@ -48,6 +48,21 @@ class HandlerEntry:
 
 class UcrRuntime:
     """Node-wide UCR state (see module docstring)."""
+
+    __slots__ = (
+        "sim",
+        "node",
+        "hca",
+        "params",
+        "name",
+        "pd",
+        "cm",
+        "recv_pool",
+        "_rdv_pools",
+        "_handlers",
+        "_counters",
+        "srq",
+    )
 
     def __init__(
         self,

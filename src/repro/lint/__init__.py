@@ -1,0 +1,44 @@
+"""``repro.lint``: determinism and hygiene lint for the simulated stack.
+
+An AST-based static-analysis pass purpose-built for this repository.  The
+discrete-event simulation is only trustworthy because every run is
+bit-for-bit deterministic and every hot-path object is cheap; these rules
+mechanically enforce the conventions the test suite otherwise only
+samples:
+
+========  ==================================================================
+Rule      Enforces
+========  ==================================================================
+L001      No wall-clock or ambient-entropy calls in simulation sources
+          (``time.time``, ``datetime.now``, bare ``random.*`` ...); use
+          ``sim.now`` and :mod:`repro.sim.rng` instead.
+L002      No ``==``/``!=`` between two float simulation timestamps in
+          sources (exact comparisons belong in tests, against constants).
+L003      Hot-path classes (``verbs/``, ``core/``, ``sim/events.py``)
+          declare ``__slots__`` (or ``@dataclass(slots=True)``).
+L004      No mutable default arguments.
+L005      Active-message ids (``register_handler`` / ``MSG_*``) are unique
+          within each module.
+========  ==================================================================
+
+Any finding can be silenced on its line with an inline comment::
+
+    something_flagged()  # repro-lint: disable=L001  -- justification
+
+Run as ``python -m repro.lint src/ tests/`` or via the ``repro-lint``
+console script; exits non-zero when findings remain.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import Finding, LintReport, lint_paths, main
+from repro.lint.rules import ALL_RULES, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "lint_paths",
+    "main",
+]

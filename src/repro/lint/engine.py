@@ -1,0 +1,193 @@
+"""Lint engine: file discovery, suppression comments, reporting, CLI.
+
+The engine walks the given paths for ``*.py`` files, parses each once,
+runs every applicable rule (see :mod:`repro.lint.rules`), then filters
+findings through inline suppression comments::
+
+    flagged_line()  # repro-lint: disable=L001
+    flagged_line()  # repro-lint: disable=L001,L003
+    flagged_line()  # repro-lint: disable=all
+
+The comment must sit on the reported line (for classes that is the
+``class`` statement itself).  Suppressed findings are counted and can be
+listed with ``--show-suppressed`` so audits can review every opt-out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+import ast
+
+from repro.lint.findings import Finding
+from repro.lint.rules import ALL_RULES, HOT_PATH_DIRS, HOT_PATH_FILES, ModuleContext, Rule
+
+#: Directories never linted.
+SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+#: Directory suffixes never linted (setuptools metadata).
+SKIP_SUFFIXES = (".egg-info",)
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the tree is clean (parse errors also fail the run)."""
+        return not self.findings and not self.parse_errors
+
+
+def classify_scope(path: Path) -> str:
+    """``tests`` for anything under a tests directory, else ``src``."""
+    return "tests" if "tests" in path.parts else "src"
+
+
+def is_hot_path(path: Path) -> bool:
+    """Whether *path* falls under the L003 hot-path surface."""
+    if classify_scope(path) == "tests":
+        return False
+    posix = path.as_posix()
+    if any(posix.endswith(suffix) for suffix in HOT_PATH_FILES):
+        return True
+    return any(part in HOT_PATH_DIRS for part in path.parts)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: set[Path] = set()
+    for root in paths:
+        candidates = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for candidate in candidates:
+            if candidate.suffix != ".py" or candidate in seen:
+                continue
+            parts = candidate.parts
+            if any(part in SKIP_DIRS for part in parts):
+                continue
+            if any(part.endswith(SKIP_SUFFIXES) for part in parts):
+                continue
+            seen.add(candidate)
+            yield candidate
+
+
+def _suppressions_for_line(line: str) -> Optional[set[str]]:
+    """Rule ids disabled by *line*'s comment, or None when there is none."""
+    match = _SUPPRESS_RE.search(line)
+    if match is None:
+        return None
+    return {token.strip().upper() for token in match.group(1).split(",") if token.strip()}
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule] = ALL_RULES,
+    report: Optional[LintReport] = None,
+) -> LintReport:
+    """Run *rules* over one file, applying inline suppressions."""
+    report = report if report is not None else LintReport()
+    try:
+        source = path.read_text()
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError) as exc:
+        report.parse_errors.append(f"{path}: {exc}")
+        return report
+    report.files_checked += 1
+    lines = source.splitlines()
+    ctx = ModuleContext(
+        path=path,
+        tree=tree,
+        scope=classify_scope(path),
+        hot_path=is_hot_path(path),
+    )
+    for rule in rules:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            line_text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+            disabled = _suppressions_for_line(line_text)
+            if disabled is not None and ("ALL" in disabled or finding.rule_id in disabled):
+                report.suppressed.append(finding)
+            else:
+                report.findings.append(finding)
+    return report
+
+
+def lint_paths(paths: Iterable[Path], rules: Sequence[Rule] = ALL_RULES) -> LintReport:
+    """Lint every Python file under *paths* and aggregate one report.
+
+    A named path that does not exist is an error, not an empty (vacuously
+    clean) run -- a typo'd path in CI must not pass silently.
+    """
+    report = LintReport()
+    paths = list(paths)
+    for root in paths:
+        if not root.exists():
+            report.parse_errors.append(f"{root}: no such file or directory")
+    for path in iter_python_files(paths):
+        lint_file(path, rules, report)
+    report.findings.sort(key=lambda f: (str(f.path), f.line, f.rule_id))
+    report.suppressed.sort(key=lambda f: (str(f.path), f.line, f.rule_id))
+    return report
+
+
+def _select_rules(selector: Optional[str]) -> Sequence[Rule]:
+    """Resolve a ``--select L001,L003`` argument to rule instances."""
+    if not selector:
+        return ALL_RULES
+    wanted = {token.strip().upper() for token in selector.split(",") if token.strip()}
+    unknown = wanted - {rule.rule_id for rule in ALL_RULES}
+    if unknown:
+        raise SystemExit(f"repro-lint: unknown rule id(s): {', '.join(sorted(unknown))}")
+    return [rule for rule in ALL_RULES if rule.rule_id in wanted]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Determinism/hygiene lint for the repro simulation stack.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to lint (default: src tests)")
+    parser.add_argument("--select", metavar="IDS",
+                        help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--show-suppressed", action="store_true",
+                        help="also list findings silenced by inline comments")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            scopes = ",".join(rule.scopes)
+            print(f"{rule.rule_id}  [{scopes}]  {rule.title}")
+        return 0
+
+    rules = _select_rules(args.select)
+    report = lint_paths([Path(p) for p in args.paths], rules)
+
+    for error in report.parse_errors:
+        print(f"error: {error}", file=sys.stderr)
+    for finding in report.findings:
+        print(finding.format())
+    if args.show_suppressed:
+        for finding in report.suppressed:
+            print(f"[suppressed] {finding.format()}")
+    status = "clean" if report.ok else f"{len(report.findings)} finding(s)"
+    print(
+        f"repro-lint: {report.files_checked} files, {status}, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return 0 if report.ok else 1

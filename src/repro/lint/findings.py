@@ -1,0 +1,21 @@
+"""The lint finding record (shared by rules and engine)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: Path
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """``file:line:col: Lxxx message`` (clickable in most editors)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"

@@ -1,0 +1,128 @@
+"""Runtime sanitizers for the simulated RDMA stack.
+
+Opt-in instrumentation that rides the stack's observer hooks and checks
+invariants the type system cannot express:
+
+===============================  =================================================
+Sanitizer                         Catches
+===============================  =================================================
+:class:`~repro.sanitize.buffers.BufferSanitizer`   use-after-release, double release,
+                                                   write-after-free on pooled buffers
+:class:`~repro.sanitize.cq.CqSanitizer`            CQ overflow, WQEs posted to
+                                                   wrong-state QPs
+:mod:`repro.sanitize.determinism`                  event-stream divergence between
+                                                   identical runs
+:class:`~repro.sanitize.slabs.SlabSanitizer`       slab/item byte-accounting drift
+===============================  =================================================
+
+Everything is off by default; :class:`SanitizerConfig` turns the hook-based
+sanitizers on for a scope::
+
+    from repro.sanitize import SanitizerConfig, installed
+
+    with installed(SanitizerConfig(strict_buffers=True)) as config:
+        run_workload()
+    print(config.counters.snapshot())
+
+The test suite enables a record-mode config for every test via the
+fixture in :mod:`repro.testing`.  See ``docs/SANITIZERS.md`` for the
+full guide.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.core.counters import SanitizerCounters
+from repro.sanitize.buffers import BufferSanitizer, BufferTicket
+from repro.sanitize.cq import CqSanitizer
+from repro.sanitize.determinism import EventDigest, capture, run_twice_and_compare
+from repro.sanitize.errors import (
+    BufferSanitizerError,
+    CqSanitizerError,
+    DeterminismError,
+    SanitizerError,
+    SlabAccountingError,
+)
+from repro.sanitize.slabs import SlabSanitizer
+
+__all__ = [
+    "BufferSanitizer",
+    "BufferSanitizerError",
+    "BufferTicket",
+    "CqSanitizer",
+    "CqSanitizerError",
+    "DeterminismError",
+    "EventDigest",
+    "SanitizerConfig",
+    "SanitizerCounters",
+    "SanitizerError",
+    "SlabAccountingError",
+    "SlabSanitizer",
+    "capture",
+    "installed",
+    "run_twice_and_compare",
+]
+
+
+@dataclass
+class SanitizerConfig:
+    """Which sanitizers to install, and how loudly they should fail.
+
+    ``strict`` sanitizers raise :class:`SanitizerError` at the violation
+    site; record-mode ones only bump :attr:`counters`.  The CQ sanitizer
+    defaults to record mode because legitimate scenarios (tiny CQs in
+    overflow tests, flushed QPs during failure injection) trip it.
+    """
+
+    buffers: bool = True
+    cq: bool = True
+    strict_buffers: bool = True
+    strict_cq: bool = False
+    canary_bytes: int = 64
+    counters: SanitizerCounters = field(default_factory=SanitizerCounters)
+    _installed: list = field(default_factory=list, repr=False)
+
+    def install(self) -> "SanitizerConfig":
+        """Hook the enabled sanitizers into the stack's observer lists."""
+        if self._installed:
+            raise RuntimeError("sanitizers already installed")
+        if self.buffers:
+            san = BufferSanitizer(
+                self.counters,
+                strict=self.strict_buffers,
+                canary_bytes=self.canary_bytes,
+            )
+            san.install()
+            self._installed.append(san)
+        if self.cq:
+            san = CqSanitizer(self.counters, strict=self.strict_cq)
+            san.install()
+            self._installed.append(san)
+        return self
+
+    def uninstall(self) -> None:
+        """Remove every sanitizer this config installed."""
+        for san in self._installed:
+            san.uninstall()
+        self._installed.clear()
+
+    def buffer_sanitizer(self) -> Optional[BufferSanitizer]:
+        """The installed buffer sanitizer, if any (for ticket checks)."""
+        for san in self._installed:
+            if isinstance(san, BufferSanitizer):
+                return san
+        return None
+
+
+@contextmanager
+def installed(config: Optional[SanitizerConfig] = None) -> Iterator[SanitizerConfig]:
+    """Context manager: install *config* (default one if omitted), then clean up."""
+    config = config or SanitizerConfig()
+    config.install()
+    try:
+        yield config
+    finally:
+        config.uninstall()

@@ -1,0 +1,136 @@
+"""Pooled-buffer lifecycle sanitizer.
+
+Hooks :attr:`repro.core.buffers.BufferPool.observers` to watch every
+checkout and return.  Three violation classes:
+
+- **double release** -- raised by the pool itself
+  (:class:`~repro.core.errors.BufferLifecycleError`); the sanitizer's
+  :meth:`BufferSanitizer.guarded_release` additionally tallies it.
+- **use-after-release through a stale handle** -- every checkout bumps
+  the buffer's ``generation``; a :class:`BufferTicket` captured at
+  checkout time no longer verifies once the buffer was released (and
+  possibly handed to a new owner).
+- **write-after-free through the raw memory region** -- the sanitizer
+  poisons a canary prefix of the region on release and verifies it on
+  the next checkout; any write landing in freed memory (bypassing the
+  :class:`~repro.core.buffers.PooledBuffer` API) trips it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.buffers import BufferPool, PooledBuffer
+from repro.core.errors import BufferLifecycleError
+from repro.sanitize.errors import BufferSanitizerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.counters import SanitizerCounters
+
+#: Byte value the canary prefix is filled with on release.
+CANARY_BYTE = 0xDD
+
+
+@dataclass(frozen=True, slots=True)
+class BufferTicket:
+    """Proof of ownership of one buffer checkout (buffer + generation)."""
+
+    buf: PooledBuffer
+    generation: int
+
+
+class BufferSanitizer:
+    """Observer implementing the checks described in the module docstring."""
+
+    __slots__ = ("counters", "strict", "canary_bytes", "_poisoned")
+
+    def __init__(
+        self,
+        counters: "SanitizerCounters",
+        strict: bool = True,
+        canary_bytes: int = 64,
+    ) -> None:
+        self.counters = counters
+        self.strict = strict
+        self.canary_bytes = canary_bytes
+        #: buf -> canary length poisoned at release time.  Keyed by the
+        #: object (identity hash, strong ref), NOT ``id(buf)``: ids get
+        #: recycled once a whole world is garbage-collected, and a stale
+        #: record on a fresh buffer would be a false positive.
+        self._poisoned: dict[PooledBuffer, int] = {}
+
+    # -- install / remove --------------------------------------------------------
+
+    def install(self) -> None:
+        """Start observing every buffer pool.
+
+        At most one buffer sanitizer may be active: two would each poison
+        on release and the first one's canary restore at checkout would
+        read as a write-after-free to the second.
+        """
+        if any(isinstance(o, BufferSanitizer) for o in BufferPool.observers):
+            raise RuntimeError("a BufferSanitizer is already installed")
+        BufferPool.observers.append(self)
+
+    def uninstall(self) -> None:
+        """Stop observing; forgets all poisoning state."""
+        if self in BufferPool.observers:
+            BufferPool.observers.remove(self)
+        self._poisoned.clear()
+
+    # -- BufferPool observer protocol ---------------------------------------------
+
+    def on_get(self, pool: BufferPool, buf: PooledBuffer) -> None:
+        """Checkout: verify the canary survived the buffer's free time."""
+        self.counters.buffer_gets += 1
+        n = self._poisoned.pop(buf, 0)
+        if n and buf.mr.read(0, n) != bytes([CANARY_BYTE]) * n:
+            self.counters.write_after_free += 1
+            if self.strict:
+                raise BufferSanitizerError(
+                    f"{pool.name}: freed buffer was written while on the "
+                    f"free list (canary of {n} bytes clobbered)"
+                )
+        if n:
+            buf.mr.write(0, bytes(n))  # hand the new owner zeroed bytes
+
+    def on_put(self, pool: BufferPool, buf: PooledBuffer) -> None:
+        """Return: poison the canary prefix of the freed region."""
+        self.counters.buffer_puts += 1
+        n = min(self.canary_bytes, pool.buffer_bytes)
+        if n:
+            buf.mr.write(0, bytes([CANARY_BYTE]) * n)
+            self._poisoned[buf] = n
+
+    # -- explicit checks ------------------------------------------------------------
+
+    def ticket(self, buf: PooledBuffer) -> BufferTicket:
+        """Capture the current checkout of *buf* for later verification."""
+        return BufferTicket(buf, buf.generation)
+
+    def verify(self, ticket: BufferTicket) -> bool:
+        """True iff *ticket* still owns its buffer; violation otherwise.
+
+        A released buffer (or one re-checked-out by a new owner, which
+        bumps the generation) is a use-after-release if the ticket holder
+        was about to touch it.
+        """
+        buf = ticket.buf
+        if buf.in_use and buf.generation == ticket.generation:
+            return True
+        self.counters.use_after_release += 1
+        if self.strict:
+            raise BufferSanitizerError(
+                f"{buf.pool.name}: stale handle (generation {ticket.generation}, "
+                f"buffer now at {buf.generation}, in_use={buf.in_use})"
+            )
+        return False
+
+    def guarded_release(self, buf: PooledBuffer) -> None:
+        """Release *buf*, tallying a double release before re-raising it."""
+        try:
+            buf.release()
+        except BufferLifecycleError:
+            self.counters.double_release += 1
+            raise

@@ -1,0 +1,88 @@
+"""Completion-queue and queue-pair state sanitizer.
+
+Hooks :attr:`repro.verbs.cq.CompletionQueue.observers` and
+:attr:`repro.verbs.qp.QueuePair.observers` to catch two silent failure
+modes of the verbs model:
+
+- **CQ overflow**: :meth:`CompletionQueue.push` records-and-drops when
+  the queue is full (real hardware transitions the CQ to error).  A
+  dropped completion usually means a hung waiter much later; the
+  sanitizer surfaces it at the drop site.
+- **wrong-state posts**: a SEND posted to a QP that is not RTS, or a
+  RECV posted to a QP already in ERROR.  The QP raises for these too,
+  but only *after* the observers run, so the sanitizer can tally them
+  in record mode across a whole suite.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sanitize.errors import CqSanitizerError
+from repro.verbs.cq import CompletionQueue
+from repro.verbs.enums import QpState
+from repro.verbs.qp import QueuePair
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.counters import SanitizerCounters
+    from repro.verbs.cq import WorkCompletion
+    from repro.verbs.wr import RecvWR, SendWR
+
+
+class CqSanitizer:
+    """Observer implementing the checks described in the module docstring."""
+
+    __slots__ = ("counters", "strict")
+
+    def __init__(self, counters: "SanitizerCounters", strict: bool = False) -> None:
+        self.counters = counters
+        self.strict = strict
+
+    # -- install / remove --------------------------------------------------------
+
+    def install(self) -> None:
+        """Start observing every completion queue and queue pair."""
+        if self not in CompletionQueue.observers:
+            CompletionQueue.observers.append(self)
+        if self not in QueuePair.observers:
+            QueuePair.observers.append(self)
+
+    def uninstall(self) -> None:
+        """Stop observing."""
+        if self in CompletionQueue.observers:
+            CompletionQueue.observers.remove(self)
+        if self in QueuePair.observers:
+            QueuePair.observers.remove(self)
+
+    # -- CompletionQueue observer protocol -----------------------------------------
+
+    def on_push(self, cq: CompletionQueue, wc: "WorkCompletion", dropped: bool) -> None:
+        """Tally every deposit; flag the drops."""
+        self.counters.cq_pushes += 1
+        if dropped:
+            self.counters.cq_overflows += 1
+            if self.strict:
+                raise CqSanitizerError(
+                    f"CQ {cq.name} overflow: completion for wr_id={wc.wr_id} "
+                    f"dropped at depth {cq.depth}"
+                )
+
+    # -- QueuePair observer protocol ------------------------------------------------
+
+    def on_post_send(self, qp: QueuePair, wr: "SendWR") -> None:
+        """A send-queue WQE must land on an RTS queue pair."""
+        if qp.state is not QpState.RTS:
+            self.counters.bad_state_posts += 1
+            if self.strict:
+                raise CqSanitizerError(
+                    f"QP {qp.qp_num}: {wr.opcode} posted in state {qp.state}"
+                )
+
+    def on_post_recv(self, qp: QueuePair, wr: "RecvWR") -> None:
+        """A receive WQE on an ERROR queue pair can only be flushed."""
+        if qp.state is QpState.ERROR:
+            self.counters.bad_state_posts += 1
+            if self.strict:
+                raise CqSanitizerError(
+                    f"QP {qp.qp_num}: RECV posted in ERROR state"
+                )

@@ -1,0 +1,98 @@
+"""Determinism sanitizer: event-stream digests.
+
+The simulator promises bit-for-bit reproducibility (same inputs -> same
+event sequence); every experiment in the repo leans on it.  This module
+makes the promise checkable: an :class:`EventDigest` hashes the stream
+of processed events -- ``(now, event type, payload length)`` per event --
+through SHA-256, and :func:`run_twice_and_compare` runs a scenario twice
+and fails loudly if the digests diverge.
+
+Digests attach to simulators via :attr:`Simulator.created_hooks`, so
+scenarios that build their engines internally (every experiment does)
+are covered without threading a config through.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Optional
+
+from repro.sanitize.errors import DeterminismError
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.counters import SanitizerCounters
+    from repro.sim.events import Event
+
+
+class EventDigest:
+    """A running SHA-256 over one or more simulators' event streams."""
+
+    __slots__ = ("counters", "_hash", "events")
+
+    def __init__(self, counters: Optional["SanitizerCounters"] = None) -> None:
+        self.counters = counters
+        self._hash = hashlib.sha256()
+        self.events = 0
+
+    def attach(self, sim: Simulator) -> None:
+        """Start digesting *sim*'s event stream."""
+        sim.pre_event_hooks.append(self._on_event)
+
+    def _on_event(self, sim: Simulator, event: "Event") -> None:
+        value = event._value
+        payload_len = len(value) if isinstance(value, (bytes, bytearray)) else -1
+        self._hash.update(
+            f"{sim.now!r}|{type(event).__name__}|{payload_len}".encode()
+        )
+        self.events += 1
+        if self.counters is not None:
+            self.counters.events_digested += 1
+
+    def hexdigest(self) -> str:
+        """Digest of everything hashed so far."""
+        return self._hash.hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EventDigest events={self.events} {self.hexdigest()[:12]}>"
+
+
+@contextmanager
+def capture(counters: Optional["SanitizerCounters"] = None) -> Iterator[EventDigest]:
+    """Digest every simulator created inside the ``with`` block.
+
+    Usage::
+
+        with capture() as digest:
+            figure3.run(fast=True)
+        print(digest.hexdigest())
+    """
+    digest = EventDigest(counters)
+    Simulator.created_hooks.append(digest.attach)
+    try:
+        yield digest
+    finally:
+        Simulator.created_hooks.remove(digest.attach)
+
+
+def run_twice_and_compare(
+    fn: Callable[[], Any],
+    counters: Optional["SanitizerCounters"] = None,
+) -> str:
+    """Run *fn* twice; raise :class:`DeterminismError` on digest mismatch.
+
+    *fn* must build its simulators internally (as the experiments do) so
+    each run starts from a fresh engine.  Returns the common digest.
+    """
+    with capture(counters) as first:
+        fn()
+    with capture(counters) as second:
+        fn()
+    if first.hexdigest() != second.hexdigest():
+        raise DeterminismError(
+            f"event streams diverged: run 1 digested {first.events} events "
+            f"({first.hexdigest()[:16]}...), run 2 {second.events} "
+            f"({second.hexdigest()[:16]}...)"
+        )
+    return first.hexdigest()

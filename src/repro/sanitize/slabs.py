@@ -1,0 +1,99 @@
+"""Slab-accounting sanitizer.
+
+Cross-checks the memcached store's byte/item statistics against the live
+item population and the slab allocator's ground truth.  Invariants:
+
+1. ``stats.bytes`` equals the summed footprint of all linked items;
+2. ``stats.curr_items`` equals the number of linked items;
+3. every linked item's chunk is marked used, and no two items share one;
+4. no chunk on a free list is marked used;
+5. ``allocated_bytes`` equals pages handed out times the page size;
+6. per class, used chunks (total - free) cover at least the linked items
+   stored there (reserved-but-uncommitted items may hold extras).
+
+Drift in any of these is how a slab double-free or a missed
+``stats.bytes`` update first becomes visible.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.memcached.slabs import PAGE_BYTES
+from repro.sanitize.errors import SlabAccountingError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.counters import SanitizerCounters
+    from repro.memcached.store import ItemStore
+
+
+class SlabSanitizer:
+    """Checkpoint validator for :class:`~repro.memcached.store.ItemStore`."""
+
+    __slots__ = ("counters", "strict")
+
+    def __init__(
+        self, counters: Optional["SanitizerCounters"] = None, strict: bool = True
+    ) -> None:
+        self.counters = counters
+        self.strict = strict
+
+    def check(self, store: "ItemStore") -> list[str]:
+        """Validate *store*; returns violations (raises them when strict)."""
+        violations: list[str] = []
+        live = [item for item in store.table.items() if item.linked]
+
+        live_bytes = sum(item.total_bytes for item in live)
+        if store.stats.bytes != live_bytes:
+            violations.append(
+                f"stats.bytes={store.stats.bytes} but live items sum to {live_bytes}"
+            )
+        if store.stats.curr_items != len(live):
+            violations.append(
+                f"stats.curr_items={store.stats.curr_items} but {len(live)} items linked"
+            )
+
+        seen_chunks: dict[int, str] = {}
+        for item in live:
+            chunk = item.chunk
+            if not chunk.used:
+                violations.append(f"item {item.key!r} holds a chunk marked free")
+            owner = seen_chunks.setdefault(id(chunk), item.key)
+            if owner != item.key:
+                violations.append(
+                    f"items {owner!r} and {item.key!r} share one slab chunk"
+                )
+
+        allocator = store.slabs
+        pages = sum(cls.total_pages for cls in allocator.classes)
+        if allocator.allocated_bytes != pages * PAGE_BYTES:
+            violations.append(
+                f"allocated_bytes={allocator.allocated_bytes} but "
+                f"{pages} pages were carved ({pages * PAGE_BYTES} bytes)"
+            )
+
+        linked_per_class: dict[int, int] = {}
+        for item in live:
+            cid = item.chunk.slab_class.class_id
+            linked_per_class[cid] = linked_per_class.get(cid, 0) + 1
+        for cls in allocator.classes:
+            for chunk in cls.free_chunks:
+                if chunk.used:
+                    violations.append(
+                        f"class {cls.class_id}: used chunk on the free list"
+                    )
+                    break
+            used = cls.total_chunks - len(cls.free_chunks)
+            linked = linked_per_class.get(cls.class_id, 0)
+            if used < linked:
+                violations.append(
+                    f"class {cls.class_id}: {linked} linked items but only "
+                    f"{used} chunks in use"
+                )
+
+        if self.counters is not None:
+            self.counters.slab_checks += 1
+            self.counters.slab_violations += len(violations)
+        if violations and self.strict:
+            raise SlabAccountingError("; ".join(violations))
+        return violations

@@ -40,6 +40,12 @@ class Simulator:
     5.0
     """
 
+    #: Class-level hooks invoked as ``hook(sim)`` for every newly created
+    #: simulator.  Sanitizers use this to instrument *all* engines built
+    #: inside a scope (e.g. a whole experiment run) without threading a
+    #: config through every factory; see :mod:`repro.sanitize`.
+    created_hooks: list[Callable[["Simulator"], None]] = []
+
     def __init__(self, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: list[tuple[float, int, int, Event]] = []
@@ -49,6 +55,8 @@ class Simulator:
         #: processed; used by :mod:`repro.sim.trace`.
         self.pre_event_hooks: list[Callable[["Simulator", Event], None]] = []
         self._events_processed = 0
+        for hook in Simulator.created_hooks:
+            hook(self)
 
     # -- clock & introspection ---------------------------------------------
 

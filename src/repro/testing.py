@@ -162,3 +162,28 @@ def measure_echo_rtt(params, payload_size: int, n_ops: int = 5, seed: int = 3) -
     world.sim.run()
     samples.sort()
     return samples[len(samples) // 2]
+
+
+def sanitized_suite_fixture():
+    """Build the suite-wide sanitizer fixture (used by ``tests/conftest.py``).
+
+    Returns a pytest fixture that installs a record-mode-CQ /
+    strict-buffer :class:`~repro.sanitize.SanitizerConfig` around every
+    test, so lifecycle bugs anywhere in the suite fail the test that
+    triggered them.  Packaged here (not in ``tests/``) so downstream
+    suites can reuse it; pytest itself stays an optional dependency.
+    """
+    import pytest  # deferred: only test environments need it
+
+    from repro.sanitize import SanitizerConfig
+
+    @pytest.fixture(autouse=True, name="sanitizers")
+    def _sanitizers():
+        config = SanitizerConfig(strict_buffers=True, strict_cq=False)
+        config.install()
+        try:
+            yield config
+        finally:
+            config.uninstall()
+
+    return _sanitizers

@@ -31,7 +31,7 @@ _conn_ids = itertools.count(1)
 CM_PROCESS_US = 3.0
 
 
-@dataclass
+@dataclass(slots=True)
 class ListenContext:
     """A service waiting for inbound connections."""
 
@@ -49,6 +49,8 @@ class ListenContext:
 
 class ConnectionManager:
     """Per-HCA CM endpoint.  Exactly one may be attached to an adapter."""
+
+    __slots__ = ("hca", "sim", "_listeners", "_pending")
 
     def __init__(self, hca: "Hca") -> None:
         if hca.cm_handler is not None:
@@ -203,7 +205,7 @@ class ConnectionManager:
             )
 
 
-@dataclass
+@dataclass(slots=True)
 class _PendingConnect:
     qp: QueuePair
     done: Optional[Event]

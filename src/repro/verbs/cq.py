@@ -19,7 +19,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim import Simulator
 
 
-@dataclass
+@dataclass(slots=True)
 class WorkCompletion:
     """One CQE: the result of a posted work request."""
 
@@ -44,6 +44,13 @@ class WorkCompletion:
 class CompletionQueue:
     """FIFO of work completions with poll and event-wait interfaces."""
 
+    __slots__ = ("sim", "depth", "name", "_cqes", "_waiters", "overflowed")
+
+    #: Sanitizer observers notified as ``on_push(cq, wc, dropped)`` for
+    #: every deposited completion (see :mod:`repro.sanitize.cq`); shared
+    #: by all completion queues, normally empty.
+    observers: list = []
+
     def __init__(self, sim: "Simulator", depth: int = 4096, name: str = "cq") -> None:
         if depth < 1:
             raise ValueError("CQ depth must be >= 1")
@@ -62,12 +69,18 @@ class CompletionQueue:
         wc.timestamp = self.sim.now
         if self._waiters:
             self._waiters.pop(0).succeed(wc)
+            for observer in CompletionQueue.observers:
+                observer.on_push(self, wc, dropped=False)
             return
         if len(self._cqes) >= self.depth:
             # Real hardware transitions the CQ to error; we record and drop.
             self.overflowed = True
+            for observer in CompletionQueue.observers:
+                observer.on_push(self, wc, dropped=True)
             return
         self._cqes.append(wc)
+        for observer in CompletionQueue.observers:
+            observer.on_push(self, wc, dropped=False)
 
     def poll(self, max_entries: int = 1) -> list[WorkCompletion]:
         """Non-blocking: drain up to *max_entries* completions."""

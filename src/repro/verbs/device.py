@@ -47,6 +47,8 @@ def lookup_qp(qpn: int) -> QueuePair:
 class Hca:
     """A host channel adapter bound to one fabric NIC."""
 
+    __slots__ = ("sim", "nic", "params", "tx_engine", "_qps", "cm_handler")
+
     def __init__(self, sim: "Simulator", nic: "Nic", params: HcaParams) -> None:
         self.sim = sim
         self.nic = nic

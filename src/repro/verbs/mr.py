@@ -27,6 +27,8 @@ _keys = itertools.count(0x1000)
 class ProtectionDomain:
     """Isolation domain: QPs may only touch MRs of their own PD."""
 
+    __slots__ = ("hca", "pd_id", "_regions")
+
     def __init__(self, hca: "Hca") -> None:
         self.hca = hca
         self.pd_id = next(_pd_ids)
@@ -56,6 +58,8 @@ class ProtectionDomain:
 
 class MemoryRegion:
     """A registered, access-controlled buffer."""
+
+    __slots__ = ("pd", "size", "access", "lkey", "rkey", "_buffer", "_valid")
 
     def __init__(self, pd: ProtectionDomain, size: int, access: Access) -> None:
         if size <= 0:

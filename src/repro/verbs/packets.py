@@ -14,7 +14,7 @@ RDMA_READ_REQUEST_BYTES = 28
 CM_MAD_BYTES = 256
 
 
-@dataclass
+@dataclass(slots=True)
 class IbPacket:
     """A data-path packet: SEND payload, RDMA WRITE, READ request/response."""
 
@@ -31,7 +31,7 @@ class IbPacket:
     wr: Any = None
 
 
-@dataclass
+@dataclass(slots=True)
 class CmPacket:
     """A connection-management datagram (REQ / REP / RTU / REJ)."""
 

@@ -39,6 +39,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class QueuePair:
     """One communication endpoint (created via :meth:`Hca.create_qp`)."""
 
+    __slots__ = (
+        "hca",
+        "qp_num",
+        "qp_type",
+        "pd",
+        "send_cq",
+        "recv_cq",
+        "max_send_wr",
+        "max_recv_wr",
+        "state",
+        "_recv_queue",
+        "_outstanding_sends",
+        "remote",
+        "srq",
+        "_ucr_endpoint",
+    )
+
+    #: Sanitizer observers notified of every posted WR (see
+    #: :mod:`repro.sanitize.cq`); shared by all queue pairs, normally empty.
+    observers: list = []
+
     def __init__(
         self,
         hca: "Hca",
@@ -67,6 +88,9 @@ class QueuePair:
         #: When set, receives come from this shared pool instead of the
         #: private queue (and post_recv on the QP is an error).
         self.srq = srq
+        #: Back-reference installed by the UCR runtime when this QP backs
+        #: an endpoint (set during connection acceptance).
+        self._ucr_endpoint = None
 
     # -- state management ------------------------------------------------------
 
@@ -110,6 +134,8 @@ class QueuePair:
 
     def post_recv(self, wr: RecvWR) -> None:
         """Queue a landing buffer for one inbound SEND."""
+        for observer in QueuePair.observers:
+            observer.on_post_recv(self, wr)
         if self.srq is not None:
             raise RuntimeError(
                 f"QP {self.qp_num} draws from an SRQ; post to the SRQ instead"
@@ -126,6 +152,8 @@ class QueuePair:
         For UD queue pairs *remote_qp* plays the role of the address
         handle; RC queue pairs use their connected peer.
         """
+        for observer in QueuePair.observers:
+            observer.on_post_send(self, wr)
         if self.state is not QpState.RTS:
             raise RuntimeError(f"QP {self.qp_num} not RTS (state={self.state})")
         if self._outstanding_sends >= self.max_send_wr:
@@ -209,7 +237,7 @@ class QueuePair:
         # RC: wait for the responder's outcome, then the ACK flight back.
         yield wr._responder_event
         yield sim.timeout(self.hca.nic.params.one_way_delay() + params.ack_process_us)
-        status = getattr(wr, "_remote_status", WcStatus.SUCCESS)
+        status = wr._remote_status
         if wr.signaled or status is not WcStatus.SUCCESS:
             self.send_cq.push(self._wc(wr, len(payload), status))
 
@@ -327,7 +355,7 @@ class QueuePair:
     def _signal_responder_done(packet: IbPacket) -> None:
         """Wake the RC requester: the ACK for this operation may fly."""
         wr = packet.wr
-        event = getattr(wr, "_responder_event", None) if wr is not None else None
+        event = wr._responder_event if wr is not None else None
         if event is not None and not event.triggered:
             event.succeed()
 
@@ -370,7 +398,7 @@ class QueuePair:
         """Complete a local RDMA READ when its response lands; yields events."""
         sim = self.hca.sim
         wr: SendWR = packet.wr
-        status = getattr(wr, "_remote_status", WcStatus.SUCCESS)
+        status = wr._remote_status
         yield sim.timeout(self.hca.params.cq_gen_us)
         if status is WcStatus.SUCCESS:
             wr.sge.scatter(packet.payload, require_remote=False)

@@ -37,6 +37,17 @@ RNR_RETRIES = 6
 class SharedReceiveQueue:
     """One pool of receive WRs shared by any number of QPs."""
 
+    __slots__ = (
+        "sim",
+        "max_wr",
+        "low_watermark",
+        "name",
+        "_queue",
+        "on_low",
+        "_low_signaled",
+        "rnr_events",
+    )
+
     def __init__(
         self,
         sim: "Simulator",

@@ -6,13 +6,13 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.verbs.enums import Opcode
+from repro.verbs.enums import Opcode, WcStatus
 from repro.verbs.mr import MemoryRegion
 
 _wr_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Sge:
     """One scatter/gather element: a slice of a registered region."""
 
@@ -43,7 +43,7 @@ class Sge:
         return len(data)
 
 
-@dataclass
+@dataclass(slots=True)
 class SendWR:
     """A send-queue work request (SEND / RDMA WRITE / RDMA READ).
 
@@ -67,6 +67,12 @@ class SendWR:
     #: avoids Python serialization costs without changing wire sizes,
     #: which are always computed from the byte payload.
     app_object: Any = None
+    #: RC responder outcome, written by the remote side before the ACK
+    #: flies back; SUCCESS until proven otherwise.
+    _remote_status: WcStatus = field(default=WcStatus.SUCCESS, init=False, repr=False)
+    #: RC only: event the responder triggers once it has decided the
+    #: outcome (set by the requester pipeline when needed).
+    _responder_event: Any = field(default=None, init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.opcode is Opcode.RECV:
@@ -96,7 +102,7 @@ class SendWR:
         return self.sge.gather()
 
 
-@dataclass
+@dataclass(slots=True)
 class RecvWR:
     """A receive-queue work request: a landing buffer for one SEND."""
 

@@ -1,0 +1,5 @@
+"""Suite-wide fixtures: runtime sanitizers around every test."""
+
+from repro.testing import sanitized_suite_fixture
+
+sanitizers = sanitized_suite_fixture()

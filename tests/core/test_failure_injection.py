@@ -138,7 +138,8 @@ def test_duplicate_handler_registration_rejected():
     world = UcrWorld()
     world.server_rt.register_handler(MSG)
     with pytest.raises(ValueError):
-        world.server_rt.register_handler(MSG)
+        # The duplicate is the point of this test.
+        world.server_rt.register_handler(MSG)  # repro-lint: disable=L005
 
 
 def test_unknown_handler_lookup_raises():

@@ -1,0 +1,81 @@
+"""The repro-lint CLI and the ship-clean guarantee for this repository."""
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.lint import ALL_RULES, lint_paths, main
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+def _write(tmp_path, source):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+DIRTY = """
+import time
+
+def f():
+    return time.time()
+"""
+
+
+def test_exit_zero_on_clean_tree(tmp_path, capsys):
+    _write(tmp_path, "X = 1\n")
+    assert main([str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_one_with_findings_printed(tmp_path, capsys):
+    path = _write(tmp_path, DIRTY)
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert f"{path}:" in out and "L001" in out
+
+
+def test_select_restricts_rules(tmp_path):
+    _write(tmp_path, DIRTY)
+    assert main(["--select", "L004", str(tmp_path)]) == 0
+    assert main(["--select", "L001", str(tmp_path)]) == 1
+
+
+def test_select_unknown_rule_rejected(tmp_path):
+    with pytest.raises(SystemExit):
+        main(["--select", "L999", str(tmp_path)])
+
+
+def test_list_rules_prints_catalogue(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ALL_RULES:
+        assert rule.rule_id in out
+
+
+def test_show_suppressed_lists_silenced_findings(tmp_path, capsys):
+    _write(
+        tmp_path,
+        """
+        import time
+
+        def f():
+            return time.time()  # repro-lint: disable=L001
+        """,
+    )
+    assert main(["--show-suppressed", str(tmp_path)]) == 0
+    assert "[suppressed]" in capsys.readouterr().out
+
+
+def test_nonexistent_path_is_an_error_not_a_clean_run(tmp_path, capsys):
+    assert main([str(tmp_path / "typo")]) == 1
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_repository_ships_lint_clean():
+    """The acceptance gate: src/ and tests/ carry zero open findings."""
+    report = lint_paths([REPO / "src", REPO / "tests"])
+    assert report.parse_errors == []
+    assert [f.format() for f in report.findings] == []

@@ -1,0 +1,78 @@
+"""Buffer sanitizer: injected lifecycle faults must be detected.
+
+The suite-wide ``sanitizers`` fixture (tests/conftest.py) installs a
+strict buffer sanitizer, so these tests drive real pools through real
+violations and assert the sanitizer fires.
+"""
+
+import pytest
+
+from repro.core.errors import BufferLifecycleError
+from repro.sanitize import BufferSanitizerError, SanitizerConfig
+from repro.sanitize.buffers import CANARY_BYTE
+from repro.testing import UcrWorld
+
+
+def test_double_release_raises_and_is_counted(sanitizers):
+    world = UcrWorld()
+    buf = world.client_rt.recv_pool.get()
+    buf.release()
+    san = sanitizers.buffer_sanitizer()
+    with pytest.raises(BufferLifecycleError):
+        san.guarded_release(buf)
+    assert sanitizers.counters.double_release == 1
+
+
+def test_use_after_release_through_pooled_api_raises():
+    world = UcrWorld()
+    buf = world.client_rt.recv_pool.get()
+    buf.release()
+    with pytest.raises(BufferLifecycleError):
+        buf.write(b"late")
+    with pytest.raises(BufferLifecycleError):
+        buf.read(4)
+
+
+def test_stale_ticket_detects_use_after_release(sanitizers):
+    world = UcrWorld()
+    pool = world.client_rt.recv_pool
+    san = sanitizers.buffer_sanitizer()
+    buf = pool.get()
+    ticket = san.ticket(buf)
+    assert san.verify(ticket)  # still owned: fine
+    buf.release()
+    pool.get()  # may hand the same buffer to a new owner
+    with pytest.raises(BufferSanitizerError):
+        san.verify(ticket)
+    assert sanitizers.counters.use_after_release == 1
+
+
+def test_write_after_free_trips_the_canary(sanitizers):
+    world = UcrWorld()
+    pool = world.client_rt.recv_pool
+    buf = pool.get()
+    mr = buf.mr
+    buf.release()
+    assert mr.read(0, 1) == bytes([CANARY_BYTE])  # freed region is poisoned
+    mr.write(3, b"rogue")  # bypasses PooledBuffer: simulated wild write
+    with pytest.raises(BufferSanitizerError):
+        # The pool hands buffers out LIFO, so the clobbered one comes back.
+        pool.get()
+    assert sanitizers.counters.write_after_free == 1
+
+
+def test_clean_checkout_leaves_zeroed_canary_region(sanitizers):
+    world = UcrWorld()
+    pool = world.client_rt.recv_pool
+    buf = pool.get()
+    buf.release()
+    buf2 = pool.get()
+    assert buf2 is buf
+    assert buf2.read(8) == bytes(8)  # canary cleaned up for the new owner
+    assert sanitizers.counters.write_after_free == 0
+
+
+def test_second_buffer_sanitizer_rejected(sanitizers):
+    config = SanitizerConfig()
+    with pytest.raises(RuntimeError):
+        config.install()

@@ -1,0 +1,66 @@
+"""CQ sanitizer: overflow and wrong-state posts must be detected."""
+
+import pytest
+
+from repro.sanitize import CqSanitizerError, SanitizerCounters
+from repro.sanitize.cq import CqSanitizer
+from repro.sim import Simulator
+from repro.testing import UcrWorld
+from repro.verbs.cq import CompletionQueue, WorkCompletion
+from repro.verbs.enums import Opcode, WcStatus
+from repro.verbs.wr import SendWR
+
+
+def _wc(i: int) -> WorkCompletion:
+    return WorkCompletion(i, Opcode.SEND, WcStatus.SUCCESS)
+
+
+def test_record_mode_counts_overflow(sanitizers):
+    sim = Simulator()
+    cq = CompletionQueue(sim, depth=2, name="tiny")
+    for i in range(5):
+        cq.push(_wc(i))
+    assert cq.overflowed
+    assert sanitizers.counters.cq_overflows == 3
+    assert sanitizers.counters.cq_pushes == 5
+
+
+def test_strict_mode_raises_at_the_drop_site():
+    counters = SanitizerCounters()
+    san = CqSanitizer(counters, strict=True)
+    san.install()
+    try:
+        sim = Simulator()
+        cq = CompletionQueue(sim, depth=1, name="tiny")
+        cq.push(_wc(0))
+        with pytest.raises(CqSanitizerError):
+            cq.push(_wc(1))
+        assert counters.cq_overflows == 1
+    finally:
+        san.uninstall()
+
+
+def test_post_send_on_non_rts_qp_flagged():
+    counters = SanitizerCounters()
+    san = CqSanitizer(counters, strict=True)
+    san.install()
+    try:
+        world = UcrWorld()
+        client_ep, _server_ep = world.establish()
+        qp = client_ep.qp
+        qp.to_error()
+        with pytest.raises(CqSanitizerError):
+            qp.post_send(SendWR(opcode=Opcode.SEND, inline_data=b"x"))
+        assert counters.bad_state_posts == 1
+    finally:
+        san.uninstall()
+
+
+def test_record_mode_counts_bad_state_posts(sanitizers):
+    world = UcrWorld()
+    client_ep, _server_ep = world.establish()
+    qp = client_ep.qp
+    qp.to_error()
+    with pytest.raises(RuntimeError):  # the QP itself still rejects the post
+        qp.post_send(SendWR(opcode=Opcode.SEND, inline_data=b"x"))
+    assert sanitizers.counters.bad_state_posts == 1

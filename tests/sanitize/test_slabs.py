@@ -1,0 +1,64 @@
+"""Slab-accounting sanitizer: clean stores verify, injected drift is caught."""
+
+import pytest
+
+from repro.memcached.store import ItemStore
+from repro.sanitize import SanitizerCounters, SlabAccountingError
+from repro.sanitize.slabs import SlabSanitizer
+from repro.sim import Simulator
+
+
+def _populated_store() -> ItemStore:
+    store = ItemStore(Simulator())
+    for i in range(50):
+        store.set(f"key-{i}", bytes(100 + i))
+    for i in range(0, 50, 3):
+        store.delete(f"key-{i}")
+    return store
+
+
+def test_clean_store_passes(sanitizers):
+    store = _populated_store()
+    san = SlabSanitizer(sanitizers.counters)
+    assert san.check(store) == []
+    assert sanitizers.counters.slab_checks == 1
+    assert sanitizers.counters.slab_violations == 0
+
+
+def test_byte_drift_detected():
+    store = _populated_store()
+    store.stats.bytes += 7  # injected accounting bug
+    with pytest.raises(SlabAccountingError, match="stats.bytes"):
+        SlabSanitizer().check(store)
+
+
+def test_item_count_drift_detected():
+    store = _populated_store()
+    store.stats.curr_items -= 1
+    with pytest.raises(SlabAccountingError, match="curr_items"):
+        SlabSanitizer().check(store)
+
+
+def test_chunk_double_free_detected():
+    store = _populated_store()
+    item = store.get("key-1")
+    assert item is not None
+    item.chunk.slab_class.release(item.chunk)  # freed under a live item
+    with pytest.raises(SlabAccountingError, match="chunk marked free"):
+        SlabSanitizer().check(store)
+
+
+def test_page_accounting_drift_detected():
+    store = _populated_store()
+    store.slabs.allocated_bytes += 1
+    with pytest.raises(SlabAccountingError, match="allocated_bytes"):
+        SlabSanitizer().check(store)
+
+
+def test_record_mode_returns_violations():
+    counters = SanitizerCounters()
+    store = _populated_store()
+    store.stats.bytes += 1
+    violations = SlabSanitizer(counters, strict=False).check(store)
+    assert len(violations) == 1
+    assert counters.slab_violations == 1
