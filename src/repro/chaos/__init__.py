@@ -1,0 +1,45 @@
+"""Deterministic chaos harness (see ``docs/CHAOS.md``).
+
+Seeded fault schedules -- node crashes, CPU slowdowns, link degradation,
+endpoint flaps -- injected at simulated timestamps, so every chaos run
+replays bit-for-bit under the event-digest sanitizer
+(:mod:`repro.sanitize.determinism`).
+
+Quick start::
+
+    from repro.chaos import ChaosController, parse_schedule
+
+    schedule = parse_schedule("at 5000 crash server1 for 20000")
+    ChaosController(cluster, schedule).arm()
+    # ... drive a workload; the crash strikes at t=5000 µs ...
+"""
+
+from repro.chaos.controller import ChaosController
+from repro.chaos.faults import (
+    FAULT_KINDS,
+    EndpointFlap,
+    Fault,
+    LinkDegrade,
+    NodeCrash,
+    SlowServer,
+)
+from repro.chaos.schedule import (
+    FaultSchedule,
+    ScheduleSyntaxError,
+    parse_schedule,
+    random_schedule,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "ChaosController",
+    "EndpointFlap",
+    "Fault",
+    "FaultSchedule",
+    "LinkDegrade",
+    "NodeCrash",
+    "ScheduleSyntaxError",
+    "SlowServer",
+    "parse_schedule",
+    "random_schedule",
+]

@@ -13,5 +13,13 @@ transports at once) and per-node clients.
 
 from repro.cluster.builder import Cluster
 from repro.cluster.configs import CLUSTER_A, CLUSTER_B, ClusterSpec
+from repro.cluster.router import HashRing, RingNode
 
-__all__ = ["CLUSTER_A", "CLUSTER_B", "Cluster", "ClusterSpec"]
+__all__ = [
+    "CLUSTER_A",
+    "CLUSTER_B",
+    "Cluster",
+    "ClusterSpec",
+    "HashRing",
+    "RingNode",
+]

@@ -14,11 +14,14 @@ from dataclasses import replace
 from typing import Optional
 
 from repro.cluster.configs import ClusterSpec
+from repro.cluster.router import DEFAULT_VNODES, HashRing
 from repro.core import UcrRuntime
 from repro.fabric.topology import Network, Node
 from repro.memcached.client import (
     ClientCosts,
+    FailoverPolicy,
     MemcachedClient,
+    ShardedClient,
     SocketsTransport,
     UcrTransport,
     UcrUdTransport,
@@ -155,7 +158,7 @@ class Cluster:
         client_node: int = 0,
         costs: ClientCosts = ClientCosts(),
         distribution: str = "modula",
-        timeout_us: float = 1_000_000.0,
+        timeout_us: Optional[float] = None,
         binary: bool = False,
     ) -> MemcachedClient:
         """A memcached client on ``client<client_node>`` using *transport*.
@@ -164,10 +167,13 @@ class Cluster:
         ("UCR-IB", "SDP", "IPoIB", "10GigE-TOE", "1GigE-TCP").  *binary*
         selects the binary wire protocol on sockets transports
         (libmemcached's BINARY_PROTOCOL behavior; ignored for UCR, whose
-        active messages are already structs).
+        active messages are already structs).  *timeout_us* defaults to
+        the spec's ``client_timeout_us``.
         """
         if not self.servers:
             raise RuntimeError("start_server() first")
+        if timeout_us is None:
+            timeout_us = self.spec.client_timeout_us
         node_name = f"client{client_node}"
         if node_name not in self.nodes:
             raise KeyError(f"no such client node {node_name!r}")
@@ -203,6 +209,33 @@ class Cluster:
                 f"{self.spec.transports}"
             )
         return MemcachedClient(t, list(self.server_names), distribution=distribution)
+
+    def sharded_client(
+        self,
+        transport: str = "UCR-IB",
+        client_node: int = 0,
+        costs: ClientCosts = ClientCosts(),
+        timeout_us: Optional[float] = None,
+        vnodes: int = DEFAULT_VNODES,
+        policy: FailoverPolicy = FailoverPolicy(),
+        binary: bool = False,
+    ) -> ShardedClient:
+        """A failure-aware client routing over a consistent-hash ring.
+
+        Same transports as :meth:`client`, but keys route through a
+        :class:`~repro.cluster.router.HashRing` over the server pool and
+        operations fail over per *policy* (bounded retry, exponential
+        backoff, ejection/rejoin) when a shard dies.
+        """
+        base = self.client(
+            transport,
+            client_node=client_node,
+            costs=costs,
+            timeout_us=timeout_us,
+            binary=binary,
+        )
+        ring = HashRing(self.server_names, vnodes=vnodes)
+        return ShardedClient(base.transport, ring, policy=policy)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

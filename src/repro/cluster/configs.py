@@ -36,6 +36,11 @@ class ClusterSpec:
     hca: HcaParams
     #: Sockets transports: display name -> (stack cost model, link params).
     sockets: dict[str, tuple[StackParams, LinkParams]] = field(default_factory=dict)
+    #: Default client-side operation/connect timeout (µs).  The paper's
+    #: §IV-A model blocks on counter C "with a timeout"; libmemcached's
+    #: default poll timeout is one second, hence 1e6 µs.  Overridable per
+    #: client via :meth:`Cluster.client`.
+    client_timeout_us: float = 1_000_000.0
 
     @property
     def transports(self) -> list[str]:

@@ -63,6 +63,21 @@ def build_cluster(
     return cluster
 
 
+def build_sharded_cluster(
+    spec: ClusterSpec,
+    n_servers: int,
+    n_client_nodes: int = 8,
+    n_workers: int = 4,
+    seed: int = 42,
+) -> Cluster:
+    """A started multi-server pool for ring-routed (sharded) benchmarks."""
+    cluster = Cluster(
+        spec, n_client_nodes=n_client_nodes, seed=seed, n_servers=n_servers
+    )
+    cluster.start_server(n_workers=n_workers)
+    return cluster
+
+
 def latency_sweep(
     cluster: Cluster,
     transports: list[str],

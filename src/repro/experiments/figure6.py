@@ -17,9 +17,17 @@ insensitive, aggregate throughput is not.
 
 from __future__ import annotations
 
-from repro.analysis.report import format_tps_table
+from repro.analysis.report import FigureSeries, format_tps_table
 from repro.cluster.configs import CLUSTER_A, CLUSTER_B
-from repro.experiments.common import ExperimentReport, build_cluster, tps_sweep
+from repro.cluster.router import HashRing
+from repro.experiments.common import (
+    ExperimentReport,
+    build_cluster,
+    build_sharded_cluster,
+    tps_sweep,
+)
+from repro.workloads.keys import KeyChooser
+from repro.workloads.memslap import MemslapRunner
 from repro.workloads.patterns import GET_ONLY
 
 CLIENT_COUNTS = [8, 16]
@@ -104,4 +112,79 @@ def run(fast: bool = False) -> ExperimentReport:
                 achieved >= 0.75 * wire,
                 f"{achieved / 1e9:.2f} GB/s of {wire / 1e9:.2f} GB/s",
             )
+    return report
+
+
+SHARD_COUNTS = [1, 4]
+
+
+def run_sharded(fast: bool = False) -> ExperimentReport:
+    """Figure 6 extension: aggregate Get TPS across a sharded pool.
+
+    Paper §II-C: "the architecture is inherently scalable as there is no
+    central server to consult" -- clients hash keys across the pool.
+    Here every client routes through a consistent-hash ring
+    (:class:`~repro.cluster.router.HashRing` via
+    :class:`~repro.memcached.client.ShardedClient`) over 1 vs 4 UCR
+    servers on Cluster B, uniform keys, 8 closed-loop clients.
+    """
+    n_ops = 40 if fast else 150
+    n_clients = 8
+    key_space = 64
+    report = ExperimentReport(
+        figure="Figure 6 (sharded)",
+        description="Aggregate Get TPS, ring-routed clients over 1 vs 4 servers",
+    )
+    series = FigureSeries(label="UCR-IB/ring")
+    tps_by_count: dict[int, float] = {}
+    for n_servers in SHARD_COUNTS:
+        # Two workers per server: a single server saturates under eight
+        # closed-loop clients, so pool scaling is visible (with a CPU
+        # surplus the clients are latency-bound and sharding is a wash).
+        cluster = build_sharded_cluster(
+            CLUSTER_B, n_servers, n_client_nodes=n_clients, n_workers=2
+        )
+        runner = MemslapRunner(
+            cluster,
+            "UCR-IB",
+            value_size=4,
+            pattern=GET_ONLY,
+            n_clients=n_clients,
+            n_ops_per_client=n_ops,
+            warmup_ops=16,  # cycle enough keys to open every shard connection
+            keys=KeyChooser(mode="uniform", key_space=key_space, prefix="shard"),
+            client_factory=lambda i, c=cluster: c.sharded_client("UCR-IB", i),
+        )
+        result = runner.run()
+        series.add(n_servers, result.tps)
+        tps_by_count[n_servers] = result.tps
+        report.raw.append(result)
+        report.check(
+            f"{n_servers} server(s): every issued op completed",
+            result.completion_ratio == 1.0,
+            f"{result.ops_completed}/{result.total_ops}",
+        )
+        if n_servers > 1:
+            # Ring spread sanity: each shard owns part of the universe.
+            ring = HashRing(cluster.server_names)
+            per_shard = dict.fromkeys(cluster.server_names, 0)
+            for i in range(key_space):
+                per_shard[ring.server_for(f"shard-{i}")] += 1
+            report.check(
+                "ring spreads the key universe over every shard",
+                all(count > 0 for count in per_shard.values()),
+                ", ".join(f"{k}:{v}" for k, v in per_shard.items()),
+            )
+    report.panels["UCR-IB ring-routed Get TPS vs pool size"] = [series]
+    report.tables.append(
+        format_tps_table(
+            "Figure 6 (sharded) - Cluster B, 4 byte Get", SHARD_COUNTS, [series]
+        )
+    )
+    report.check(
+        "4-shard pool outperforms a single server (aggregate TPS)",
+        tps_by_count[4] >= tps_by_count[1] * 1.5,
+        f"{tps_by_count[1] / 1000:.0f}K -> {tps_by_count[4] / 1000:.0f}K "
+        f"({tps_by_count[4] / tps_by_count[1]:.2f}x)",
+    )
     return report

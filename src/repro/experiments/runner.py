@@ -23,6 +23,7 @@ FIGURES: dict[str, Callable[[bool], ExperimentReport]] = {
     "4": figure4.run,
     "5": figure5.run,
     "6": figure6.run,
+    "6s": figure6.run_sharded,
     "ext": extensions.run,
 }
 

@@ -80,6 +80,10 @@ class Nic:
         self.name = name
         self.tx = Resource(sim, capacity=1, name=f"{name}.tx")
         self.rx = Resource(sim, capacity=1, name=f"{name}.rx")
+        #: Chaos hook (repro.chaos): multiplies this port's serialization
+        #: and propagation times.  1.0 is nominal; a LinkDegrade fault
+        #: raises it for a window (cable renegotiation, congested uplink).
+        self.slowdown = 1.0
         #: Installed by the protocol stack bound to this NIC; called with
         #: each delivered frame.  Exactly one stack owns a NIC.
         self.rx_handler: Optional[Callable[[Frame], None]] = None
@@ -142,7 +146,7 @@ class Nic:
         # Serialize on the local wire.
         req = self.tx.request()
         yield req
-        yield sim.timeout(self.params.serialization_time(frame.nbytes))
+        yield sim.timeout(self.params.serialization_time(frame.nbytes) * self.slowdown)
         self.tx.release(req)
         self.frames_sent.add()
         self.bytes_sent.add(frame.nbytes)
@@ -150,7 +154,7 @@ class Nic:
             tx_done.succeed()
 
         # Fly through the switch.
-        yield sim.timeout(self.params.one_way_delay())
+        yield sim.timeout(self.params.one_way_delay() * self.slowdown)
 
         # Receive-side per-frame processing (incast pressure point).
         rreq = frame.dst.rx.request()

@@ -66,6 +66,10 @@ class Node:
         #: Shared CPU: every modeled software activity (kernel stack, server
         #: worker, client library) competes for these cores.
         self.cpu = Resource(sim, capacity=host.cores, name=f"{name}.cpu")
+        #: Chaos hook (repro.chaos): multiplies every unit of CPU work on
+        #: this host.  1.0 is nominal; a SlowServer fault raises it for a
+        #: window (thermal throttling, a co-scheduled batch job...).
+        self.cpu_scale = 1.0
         self._nics: dict[str, Nic] = {}
 
     def _register_nic(self, network_name: str, nic: Nic) -> None:
@@ -93,7 +97,7 @@ class Node:
             raise ValueError(f"negative CPU work: {work_us}")
         req = self.cpu.request()
         yield req
-        yield self.sim.timeout(work_us)
+        yield self.sim.timeout(work_us * self.cpu_scale)
         self.cpu.release(req)
 
     def memcpy(self, nbytes: int):

@@ -269,9 +269,15 @@ class UcrTransport:
         runtime = self._runtimes.get(server)
         if runtime is None:
             raise ServerDownError(f"unknown UCR server {server!r}")
-        ep = yield from self.context.connect(
-            runtime, self.service_id, timeout_us=self.timeout_us
-        )
+        try:
+            ep = yield from self.context.connect(
+                runtime, self.service_id, timeout_us=self.timeout_us
+            )
+        except (UcrTimeout, ConnectionRefusedError) as exc:
+            # A crashed server stops listening: surface the refused (or
+            # hung) handshake the same way as a dead connection so the
+            # failover layer sees one error family.
+            raise ServerDownError(f"{server}: {exc}") from exc
         ep._mc_response_sink = self._deliver_response
         self._endpoints[server] = ep
         return ep
@@ -459,7 +465,7 @@ class MemcachedClient:
         self,
         transport,
         servers: list[str],
-        distribution: str = "modula",
+        distribution="modula",
     ) -> None:
         self.transport = transport
         self.sim = transport.sim
@@ -468,8 +474,12 @@ class MemcachedClient:
             self.distribution = ModulaDistribution(servers)
         elif distribution == "ketama":
             self.distribution = KetamaDistribution(servers)
-        else:
+        elif isinstance(distribution, str):
             raise ValueError(f"unknown distribution {distribution!r}")
+        else:
+            # Any object speaking the distribution protocol (server_for /
+            # servers / remove_server), e.g. a cluster.router.HashRing.
+            self.distribution = distribution
         self.ops_issued = 0
 
     def _pick(self, key: str):
@@ -763,3 +773,196 @@ class MemcachedClient:
                 raise ServerError(token)
             if token == "ERROR":
                 raise ProtocolError("server rejected the command")
+
+
+# ---------------------------------------------------------------------------
+# Sharded client: ring routing + failover
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailoverPolicy:
+    """How a :class:`ShardedClient` reacts to shard failures.
+
+    Timings are simulated microseconds.  The backoff sequence for one
+    operation is ``backoff_base_us * backoff_multiplier**attempt``; the
+    total attempt budget is ``1 + max_retries``.
+    """
+
+    #: Extra attempts after the first failure (bounded retry).
+    max_retries: int = 3
+    #: Sleep before the first retry.
+    backoff_base_us: float = 100.0
+    #: Exponential backoff growth per retry.
+    backoff_multiplier: float = 2.0
+    #: Consecutive failures on one shard before it is ejected from routing.
+    eject_threshold: int = 2
+    #: How long an ejected shard stays out before a rejoin probe may hit it.
+    rejoin_after_us: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.eject_threshold < 1:
+            raise ValueError("eject_threshold must be >= 1")
+
+    def backoff_us(self, attempt: int) -> float:
+        """Backoff before retry *attempt* (0-based)."""
+        return self.backoff_base_us * self.backoff_multiplier**attempt
+
+
+class _ShardHealth:
+    """Client-local view of one shard's liveness."""
+
+    __slots__ = ("consecutive_failures", "ejected_until", "ejections")
+
+    def __init__(self) -> None:
+        self.consecutive_failures = 0
+        #: Simulated time until which the shard is out of routing
+        #: (None: in rotation).
+        self.ejected_until: Optional[float] = None
+        self.ejections = 0
+
+
+class ShardedClient(MemcachedClient):
+    """A :class:`MemcachedClient` that routes over a consistent-hash ring
+    and fails over on shard death.
+
+    Routing: keys go to their ring owner unless that shard is ejected, in
+    which case the walk continues clockwise (the ring's preference list),
+    so a dead shard's keys spread across every survivor.
+
+    Failure handling (the paper's §IV-A corrective-action model, scaled
+    to a pool): an operation that dies with :class:`ServerDownError`
+    counts one failure against the shard it targeted, sleeps an
+    exponentially growing backoff, and retries -- re-picking the target,
+    which skips the shard once it has accrued
+    ``policy.eject_threshold`` consecutive failures.  Ejected shards
+    rejoin routing after ``policy.rejoin_after_us`` (half-open: the next
+    operation routed there is the probe; one more failure re-ejects it,
+    one success clears the record).
+
+    The transport owns one endpoint per shard (lazily established), so
+    failover never tears down healthy connections.
+    """
+
+    def __init__(
+        self,
+        transport,
+        ring,
+        policy: FailoverPolicy = FailoverPolicy(),
+    ) -> None:
+        super().__init__(transport, ring.servers, distribution=ring)
+        self.ring = ring
+        self.policy = policy
+        self._health: dict[str, _ShardHealth] = {
+            name: _ShardHealth() for name in ring.servers
+        }
+        self._last_server: Optional[str] = None
+        #: Operations that needed at least one retry.
+        self.failovers = 0
+        #: Operations that exhausted the retry budget.
+        self.gave_up = 0
+
+    # -- routing -----------------------------------------------------------
+
+    def ejected_servers(self) -> frozenset:
+        """Shards currently out of routing (rejoin deadline not reached)."""
+        now = self.sim.now
+        out = set()
+        for name, health in self._health.items():
+            if health.ejected_until is not None:
+                if now >= health.ejected_until:
+                    # Rejoin probe window: back in rotation, failure
+                    # record kept so one more failure re-ejects.
+                    health.ejected_until = None
+                else:
+                    out.add(name)
+        return frozenset(out)
+
+    def _pick(self, key: str):
+        yield from self.node.cpu_run(
+            self.node.host.cpu_time(self.transport.costs.key_hash_us)
+        )
+        self.ops_issued += 1
+        server = self.ring.server_for(key, avoid=self.ejected_servers())
+        self._last_server = server
+        return server
+
+    # -- health accounting -------------------------------------------------
+
+    def _note_failure(self, server: Optional[str]) -> None:
+        if server is None:
+            return
+        # setdefault: servers may join the ring after construction.
+        health = self._health.setdefault(server, _ShardHealth())
+        health.consecutive_failures += 1
+        if (
+            health.consecutive_failures >= self.policy.eject_threshold
+            and health.ejected_until is None
+        ):
+            health.ejected_until = self.sim.now + self.policy.rejoin_after_us
+            health.ejections += 1
+
+    def _note_success(self, server: Optional[str]) -> None:
+        if server is None:
+            return
+        health = self._health.setdefault(server, _ShardHealth())
+        health.consecutive_failures = 0
+        health.ejected_until = None
+
+    def shard_health(self, server: str) -> tuple[int, Optional[float], int]:
+        """(consecutive_failures, ejected_until, ejections) for tests/metrics."""
+        h = self._health[server]
+        return h.consecutive_failures, h.ejected_until, h.ejections
+
+    # -- failover wrapper --------------------------------------------------
+
+    def _with_failover(self, op: str, *args, **kwargs):
+        """Process helper: run one base-client op with bounded retry."""
+        method = getattr(MemcachedClient, op)
+        for attempt in range(self.policy.max_retries + 1):
+            self._last_server = None
+            try:
+                result = yield from method(self, *args, **kwargs)
+            except ServerDownError:
+                self._note_failure(self._last_server)
+                if attempt >= self.policy.max_retries:
+                    self.gave_up += 1
+                    raise
+                self.failovers += attempt == 0
+                yield self.sim.timeout(self.policy.backoff_us(attempt))
+                continue
+            self._note_success(self._last_server)
+            return result
+
+    # Single-key operations gain failover; get_multi keeps the base
+    # fan-out (its per-server groups are already independent, and a
+    # partial mget is the documented memcached contract).
+
+    def set(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
+        return self._with_failover("set", key, value, flags, exptime)
+
+    def add(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
+        return self._with_failover("add", key, value, flags, exptime)
+
+    def replace(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
+        return self._with_failover("replace", key, value, flags, exptime)
+
+    def get(self, key: str):
+        return self._with_failover("get", key)
+
+    def gets(self, key: str):
+        return self._with_failover("gets", key)
+
+    def delete(self, key: str):
+        return self._with_failover("delete", key)
+
+    def incr(self, key: str, delta: int = 1):
+        return self._with_failover("incr", key, delta)
+
+    def decr(self, key: str, delta: int = 1):
+        return self._with_failover("decr", key, delta)
+
+    def touch(self, key: str, exptime: float):
+        return self._with_failover("touch", key, exptime)

@@ -459,6 +459,7 @@ class UcrServerPort:
         self.server = server
         self.runtime = runtime
         self.sim = server.sim
+        self.service_id = service_id
         n = n_contexts if n_contexts is not None else len(server.workers)
         #: One UCR progress context per worker thread (paper §V-A: the
         #: worker assigned at connect time serves all the client's AMs).
@@ -466,20 +467,73 @@ class UcrServerPort:
         self._rr = itertools.cycle(self.contexts)
         self.endpoints: list["Endpoint"] = []
         self.ud_endpoints: list["Endpoint"] = []
+        #: True while the port accepts connections (chaos flips this).
+        self.listening = False
         #: At-most-once cache for UD retransmissions.
         self._response_cache: dict = {}
         self._cache_order: list = []
         runtime.register_handler(
             MSG_MC_REQUEST, self._header_handler, self._completion_handler
         )
-        runtime.listen(
-            service_id,
+        self._listen()
+
+    def _listen(self) -> None:
+        self.runtime.listen(
+            self.service_id,
             select_context=lambda: next(self._rr),
             on_endpoint=self._on_endpoint,
         )
+        self.listening = True
 
     def _on_endpoint(self, ep: "Endpoint", private_data: Any) -> None:
         self.endpoints.append(ep)
+
+    # -- failure injection (repro.chaos) ---------------------------------------
+
+    def crash(self, reason: str = "node crash") -> None:
+        """The server process dies: stop accepting, kill every endpoint.
+
+        Clients observe the §IV-A failure model end to end -- in-flight
+        requests time out, reconnect attempts are refused -- while the
+        rest of the cluster keeps running (endpoint failure is contained).
+        The store's contents survive in this object; :meth:`recover`
+        models a restart of the *network* personality only, so whether a
+        restarted shard is warm or cold is the caller's choice (chaos
+        tests restart cold by flushing the store first if they want to).
+        """
+        if not self.listening:
+            return
+        self.runtime.cm.stop_listening(self.service_id)
+        self.listening = False
+        for ep in self.endpoints:
+            if not ep.failed:
+                ep.fail(reason)
+        self.endpoints.clear()
+        for ep in self.ud_endpoints:
+            if not ep.failed:
+                ep.fail(reason)
+        self.ud_endpoints.clear()
+
+    def recover(self) -> None:
+        """Start accepting connections again after :meth:`crash`."""
+        if self.listening:
+            return
+        self._listen()
+
+    def flap_endpoints(self, reason: str = "endpoint flap") -> int:
+        """Fail every live endpoint without stopping the listener.
+
+        Models a transient fabric event (port bounce, QP error burst):
+        clients reconnect immediately and succeed.  Returns the number of
+        endpoints failed.
+        """
+        flapped = 0
+        for ep in self.endpoints:
+            if not ep.failed:
+                ep.fail(reason)
+                flapped += 1
+        self.endpoints.clear()
+        return flapped
 
     # -- UD mode (paper §VII future work) ---------------------------------------
 

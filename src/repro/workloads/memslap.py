@@ -10,8 +10,9 @@ aggregate ... observed by all the clients").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.memcached.errors import ServerDownError
 from repro.sim.trace import LatencyRecorder
 from repro.workloads.keys import KeyChooser, make_value
 from repro.workloads.patterns import GET_ONLY, OpPattern
@@ -33,10 +34,32 @@ class MemslapResult:
     latency: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("op"))
     set_latency: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("set"))
     get_latency: LatencyRecorder = field(default_factory=lambda: LatencyRecorder("get"))
+    #: Operations that raised ServerDownError (only nonzero in
+    #: ``tolerate_failures`` mode, e.g. under chaos injection).
+    ops_failed: int = 0
+    #: Gets answered with a miss (failover to a shard without the key).
+    get_misses: int = 0
+    #: Simulated time the timed region began (after prepopulate/warmup).
+    #: Note ``sim.now`` after a run overshoots the timed region: stale
+    #: operation-timeout timers drain as no-ops, so use
+    #: ``started_at_us + elapsed_us`` for the benchmark's end time.
+    started_at_us: float = 0.0
 
     @property
     def total_ops(self) -> int:
         return self.n_clients * self.n_ops_per_client
+
+    @property
+    def ops_completed(self) -> int:
+        """Operations that returned (hit, miss or stored) without error."""
+        return self.total_ops - self.ops_failed
+
+    @property
+    def completion_ratio(self) -> float:
+        """Fraction of issued operations that completed."""
+        if self.total_ops == 0:
+            return 1.0
+        return self.ops_completed / self.total_ops
 
     @property
     def tps(self) -> float:
@@ -62,7 +85,17 @@ class MemslapRunner:
         n_ops_per_client: int = 100,
         warmup_ops: int = 5,
         keys: Optional[KeyChooser] = None,
+        client_factory: Optional[Callable[[int], object]] = None,
+        tolerate_failures: bool = False,
     ) -> None:
+        """*client_factory* maps a client-node index to a client object
+        (default: ``cluster.client(transport, i)``); pass e.g.
+        ``lambda i: cluster.sharded_client(transport, i)`` to bench the
+        ring-routed failover client.  With *tolerate_failures* the loop
+        counts :class:`ServerDownError` as a failed op and get misses as
+        misses instead of raising -- required when a chaos schedule kills
+        shards mid-run and failover reroutes to servers without the key.
+        """
         if n_clients > len(cluster.client_nodes):
             raise ValueError(
                 f"{n_clients} clients need {n_clients} nodes; cluster has "
@@ -76,6 +109,8 @@ class MemslapRunner:
         self.n_ops_per_client = n_ops_per_client
         self.warmup_ops = warmup_ops
         self.keys = keys or KeyChooser(mode="single", prefix=f"bench-{value_size}")
+        self.client_factory = client_factory
+        self.tolerate_failures = tolerate_failures
 
     def run(self) -> MemslapResult:
         """Execute the benchmark; returns the populated result."""
@@ -89,36 +124,53 @@ class MemslapRunner:
             n_ops_per_client=self.n_ops_per_client,
             elapsed_us=0.0,
         )
-        clients = [
-            cluster.client(self.transport, i) for i in range(self.n_clients)
-        ]
+        factory = self.client_factory or (
+            lambda i: cluster.client(self.transport, i)
+        )
+        clients = [factory(i) for i in range(self.n_clients)]
         value = make_value(self.value_size, tag=7)
 
         # Pre-populate every key (gets must hit) and warm the connections.
         def prepopulate():
-            """Seed every key and warm each client's connection."""
+            """Seed every key and warm each client's connection(s).
+
+            Warmup cycles through the key universe so that multi-shard
+            clients establish every per-shard connection before the
+            timed region (single-key workloads are unaffected).
+            """
             seeder = clients[0]
-            for key in self.keys.all_keys():
+            universe = self.keys.all_keys()
+            for key in universe:
                 yield from seeder.set(key, value)
             for client in clients:
-                for _ in range(self.warmup_ops):
-                    yield from client.get(self.keys.all_keys()[0])
+                for i in range(self.warmup_ops):
+                    yield from client.get(universe[i % len(universe)])
 
         pre = sim.process(prepopulate())
         sim.run_until_event(pre)
 
         finish_times: list[float] = []
         start = sim.now
+        result.started_at_us = start
 
         def closed_loop(client):
             for op in self.pattern.ops(self.n_ops_per_client):
                 key = self.keys.next_key()
                 t0 = sim.now
-                if op == "set":
-                    yield from client.set(key, value)
-                else:
-                    got = yield from client.get(key)
-                    assert got is not None, f"unexpected miss on {key}"
+                try:
+                    if op == "set":
+                        yield from client.set(key, value)
+                    else:
+                        got = yield from client.get(key)
+                        if got is None:
+                            if not self.tolerate_failures:
+                                raise AssertionError(f"unexpected miss on {key}")
+                            result.get_misses += 1
+                except ServerDownError:
+                    if not self.tolerate_failures:
+                        raise
+                    result.ops_failed += 1
+                    continue
                 dt = sim.now - t0
                 result.latency.record(dt)
                 (result.set_latency if op == "set" else result.get_latency).record(dt)

@@ -1,0 +1,1 @@
+"""Chaos-harness tests: schedules, controller, failover soak."""

@@ -1,0 +1,1 @@
+"""Golden event-stream digests for the experiment figures."""
