@@ -1,0 +1,115 @@
+"""Tracing-overhead smoke gate: telemetry is zero-cost when disabled.
+
+Three gates, run by CI (`python benchmarks/telemetry_overhead.py`):
+
+1. A run with the tracer disabled records nothing at all.
+2. A traced run's sanitizer event-stream digest is bit-identical to the
+   untraced run's -- tracing observes the simulation, never perturbs it.
+3. Wall clock: the disabled-tracer workload, timed min-of-3 in two
+   interleaved series, stays within 5% of the first series (the
+   baseline).  Every instrumentation site is one ``tracer.enabled``
+   attribute read when disabled; a regression that sneaks allocation or
+   call overhead into the guarded path shows up here (and usually in
+   gate 1 first).
+
+Wall-clock reads are host-side measurement of the *benchmark harness*,
+not simulated behavior, hence the L001 suppressions.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.cluster.configs import CLUSTER_A
+from repro.experiments.common import build_cluster
+from repro.sanitize import capture
+from repro.telemetry import tracer, tracing
+from repro.workloads.memslap import MemslapRunner
+from repro.workloads.patterns import GET_ONLY
+
+N_OPS = 200
+ROUNDS = 3
+TOLERANCE = 1.05
+
+
+def _workload() -> None:
+    """One untimed-output benchmark run (4 KB Gets, single client)."""
+    cluster = build_cluster(CLUSTER_A)
+    MemslapRunner(
+        cluster,
+        "UCR-IB",
+        value_size=4096,
+        pattern=GET_ONLY,
+        n_clients=1,
+        n_ops_per_client=N_OPS,
+        warmup_ops=5,
+    ).run()
+
+
+def _timed() -> float:
+    t0 = time.perf_counter()  # repro-lint: disable=L001
+    _workload()
+    return time.perf_counter() - t0  # repro-lint: disable=L001
+
+
+def gate_disabled_records_nothing() -> None:
+    """Gate 1: a disabled tracer collects zero spans and instants."""
+    tracer.disable()
+    tracer.clear()
+    _workload()
+    assert tracer.spans == [], f"disabled tracer recorded {len(tracer.spans)} spans"
+    assert tracer.instants == [], (
+        f"disabled tracer recorded {len(tracer.instants)} instants"
+    )
+    print("gate 1 PASS: disabled tracer records nothing")
+
+
+def gate_digest_neutral() -> None:
+    """Gate 2: tracing leaves the event-stream digest bit-identical."""
+    with capture() as traced:
+        with tracing():
+            _workload()
+    with capture() as untraced:
+        _workload()
+    assert traced.events == untraced.events, (
+        f"tracing changed event count: {untraced.events} -> {traced.events}"
+    )
+    assert traced.hexdigest() == untraced.hexdigest(), (
+        "tracing perturbed the event stream (same count, different bytes)"
+    )
+    print(f"gate 2 PASS: digest neutral over {traced.events} events")
+
+
+def gate_wall_clock() -> None:
+    """Gate 3: disabled-tracer wall clock within 5% of the baseline."""
+    tracer.disable()
+    baseline: list[float] = []
+    check: list[float] = []
+    _timed()  # warm caches/imports before anything is compared
+    for _ in range(ROUNDS):  # interleave to decorrelate host noise
+        baseline.append(_timed())
+        check.append(_timed())
+    base, got = min(baseline), min(check)
+    ratio = got / base
+    print(
+        f"gate 3: baseline min {base * 1e3:.1f} ms, "
+        f"check min {got * 1e3:.1f} ms, ratio {ratio:.3f}"
+    )
+    assert ratio <= TOLERANCE, (
+        f"disabled-tracer run {ratio:.3f}x baseline (> {TOLERANCE}x)"
+    )
+    print("gate 3 PASS: disabled tracing within the wall-clock budget")
+
+
+def main() -> int:
+    """Run every gate; non-zero exit on the first failure."""
+    gate_disabled_records_nothing()
+    gate_digest_neutral()
+    gate_wall_clock()
+    print("telemetry overhead gates: ALL PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

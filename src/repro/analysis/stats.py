@@ -8,7 +8,7 @@ import numpy as np
 
 
 def summarize_latencies(samples: Sequence[float]) -> dict[str, float]:
-    """mean/median/p95/std/jitter for a latency sample set."""
+    """mean/median/p95/p99/std/jitter for a latency sample set."""
     if not samples:
         raise ValueError("no samples")
     arr = np.asarray(samples, dtype=np.float64)
@@ -17,9 +17,22 @@ def summarize_latencies(samples: Sequence[float]) -> dict[str, float]:
         "mean": mean,
         "median": float(np.median(arr)),
         "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
         "std": float(arr.std()),
         "jitter": float(arr.std() / mean) if mean > 0 else 0.0,
     }
+
+
+def latency_histogram(samples: Sequence[float], significant_bits: int = 5) -> dict:
+    """Exportable fixed-bucket (HDR-style) histogram of *samples* (µs).
+
+    Returns the :meth:`FixedBucketHistogram.to_dict` form: deterministic
+    bucket bounds, so two runs with identical samples serialize
+    identically.
+    """
+    from repro.telemetry.histogram import FixedBucketHistogram
+
+    return FixedBucketHistogram.from_samples(samples, significant_bits).to_dict()
 
 
 def ratio(baseline: float, candidate: float) -> float:

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 
 from repro.chaos.faults import Fault
 from repro.chaos.schedule import FaultSchedule
+from repro.telemetry import tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.builder import Cluster
@@ -65,10 +66,14 @@ class ChaosController:
                 yield sim.timeout(fault.interval_us)
             fault.apply(self.cluster)
             self.log.append((sim.now, f"apply {fault.describe()}"))
+            if tracer.enabled:
+                tracer.instant("chaos.apply", "chaos", sim.now, fault=fault.describe())
             if fault.duration_us is not None:
                 yield sim.timeout(fault.duration_us)
                 fault.revert(self.cluster)
                 self.log.append((sim.now, f"revert {fault.describe()}"))
+                if tracer.enabled:
+                    tracer.instant("chaos.revert", "chaos", sim.now, fault=fault.describe())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "armed" if self._armed else "idle"

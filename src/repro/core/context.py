@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any, Optional
 from repro.core.endpoint import Endpoint, _SendCompletionCookie
 from repro.core.errors import EndpointClosed, UcrTimeout
 from repro.core.messages import AmWire, InternalWire
+from repro.telemetry import tracer
 from repro.verbs.enums import Opcode, QpType, WcStatus
 from repro.verbs.wr import SendWR, Sge
 
@@ -198,50 +199,71 @@ class UcrContext:
 
     def _handle_eager(self, ep: Endpoint, wire: AmWire, buf):
         params = self.runtime.params
-        yield from self.node.cpu_run(params.header_handler_cpu_us)
-        entry = self.runtime.handler_for(wire.msg_id)
-        dest = None
-        if entry.header_handler is not None:
-            dest = entry.header_handler(ep, wire.header, wire.data_length)
-        data = wire.data or b""
-        # Copy off the bounce buffer into the destination (or keep the
-        # runtime-temp bytes when the handler named no destination).
-        if data:
-            yield from self.node.memcpy(len(data))
-        if dest is not None:
-            mr, offset = self._resolve_dest(dest)
-            mr.write(offset, data)
-        ep.repost_recv_buffer(buf)
-        yield from self._complete_delivery(ep, wire, data, entry)
+        span = (
+            tracer.begin("am.deliver", "am", self.sim.now,
+                         parent=wire.trace, msg_id=wire.msg_id)
+            if tracer.enabled and wire.trace is not None
+            else None
+        )
+        try:
+            yield from self.node.cpu_run(params.header_handler_cpu_us)
+            entry = self.runtime.handler_for(wire.msg_id)
+            dest = None
+            if entry.header_handler is not None:
+                dest = entry.header_handler(ep, wire.header, wire.data_length)
+            data = wire.data or b""
+            # Copy off the bounce buffer into the destination (or keep the
+            # runtime-temp bytes when the handler named no destination).
+            if data:
+                yield from self.node.memcpy(len(data))
+            if dest is not None:
+                mr, offset = self._resolve_dest(dest)
+                mr.write(offset, data)
+            ep.repost_recv_buffer(buf)
+            yield from self._complete_delivery(ep, wire, data, entry)
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
 
     # -- rendezvous path ------------------------------------------------------------------
 
     def _handle_rendezvous_header(self, ep: Endpoint, wire: AmWire, buf):
         params = self.runtime.params
-        yield from self.node.cpu_run(params.header_handler_cpu_us)
-        entry = self.runtime.handler_for(wire.msg_id)
-        dest = None
-        if entry.header_handler is not None:
-            dest = entry.header_handler(ep, wire.header, wire.data_length)
-        ep.repost_recv_buffer(buf)  # header consumed; free the bounce slot
-        temp = None
-        if dest is None:
-            temp = self.runtime.rendezvous_pool_for(wire.data_length).get()
-            mr, offset = temp.mr, 0
-        else:
-            mr, offset = self._resolve_dest(dest)
-        assert wire.rdma is not None
-        cookie = _SendCompletionCookie(
-            kind="rendezvous-read", endpoint=ep, wire=wire, dest=(mr, offset, temp)
+        span = (
+            tracer.begin("am.rdv_header", "am", self.sim.now,
+                         parent=wire.trace, msg_id=wire.msg_id)
+            if tracer.enabled and wire.trace is not None
+            else None
         )
-        read_wr = SendWR(
-            opcode=Opcode.RDMA_READ,
-            sge=Sge(mr, offset, wire.rdma.length),
-            remote_rkey=wire.rdma.rkey,
-            remote_offset=wire.rdma.offset,
-            context=cookie,
-        )
-        ep._post(read_wr)
+        try:
+            yield from self.node.cpu_run(params.header_handler_cpu_us)
+            entry = self.runtime.handler_for(wire.msg_id)
+            dest = None
+            if entry.header_handler is not None:
+                dest = entry.header_handler(ep, wire.header, wire.data_length)
+            ep.repost_recv_buffer(buf)  # header consumed; free the bounce slot
+            temp = None
+            if dest is None:
+                temp = self.runtime.rendezvous_pool_for(wire.data_length).get()
+                mr, offset = temp.mr, 0
+            else:
+                mr, offset = self._resolve_dest(dest)
+            assert wire.rdma is not None
+            cookie = _SendCompletionCookie(
+                kind="rendezvous-read", endpoint=ep, wire=wire, dest=(mr, offset, temp)
+            )
+            read_wr = SendWR(
+                opcode=Opcode.RDMA_READ,
+                sge=Sge(mr, offset, wire.rdma.length),
+                remote_rkey=wire.rdma.rkey,
+                remote_offset=wire.rdma.offset,
+                context=cookie,
+                trace=wire.trace if tracer.enabled else None,
+            )
+            ep._post(read_wr)
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
 
     def _finish_rendezvous(self, ep: Endpoint, cookie: _SendCompletionCookie):
         wire = cookie.wire
@@ -249,11 +271,19 @@ class UcrContext:
         mr, offset, temp = cookie.dest
         data = mr.read(offset, wire.rdma.length)
         entry = self.runtime.handler_for(wire.msg_id)
+        span = (
+            tracer.begin("am.deliver", "am", self.sim.now,
+                         parent=wire.trace, msg_id=wire.msg_id, rendezvous=True)
+            if tracer.enabled and wire.trace is not None
+            else None
+        )
         try:
             yield from self._complete_delivery(ep, wire, data, entry)
         finally:
             if temp is not None:
                 temp.release()
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
         # Tell the origin its staging buffer is free (+ any counters).
         counter_ids = []
         if wire.origin_counter_id:

@@ -35,6 +35,7 @@ from repro.core.buffers import PooledBuffer
 from repro.core.errors import EndpointClosed, FlowControlError
 from repro.core.messages import AmWire, InternalWire, RdmaDescriptor
 from repro.sim import Event
+from repro.telemetry import tracer
 from repro.verbs.enums import Opcode
 from repro.verbs.wr import RecvWR, SendWR, Sge
 
@@ -202,6 +203,7 @@ class Endpoint:  # repro-lint: disable=L003
             target_counter_id=tc_id,
             completion_counter_id=cc_id,
             credits_returned=self._take_owed_credits(),
+            trace=getattr(header, "trace", None) if tracer.enabled else None,
         )
         payload = bytes(wire.wire_bytes())
         cookie = None
@@ -246,6 +248,7 @@ class Endpoint:  # repro-lint: disable=L003
             target_counter_id=tc_id,
             completion_counter_id=cc_id,
             credits_returned=self._take_owed_credits(),
+            trace=getattr(header, "trace", None) if tracer.enabled else None,
         )
         self._staged[wire.seq] = staging
         payload = bytes(wire.wire_bytes())
@@ -279,6 +282,7 @@ class Endpoint:  # repro-lint: disable=L003
             target_counter_id=tc_id,
             completion_counter_id=cc_id,
             credits_returned=self._take_owed_credits(),
+            trace=getattr(header, "trace", None) if tracer.enabled else None,
         )
         payload = bytes(wire.wire_bytes())
         wr = SendWR(
@@ -299,6 +303,8 @@ class Endpoint:  # repro-lint: disable=L003
             # here -- enqueueing then would hang forever (fail() already
             # flushed its waiter list).
             self._check_alive()
+            if tracer.enabled:
+                tracer.instant("am.credit_stall", "am", self.sim.now, ep=self.ep_id)
             ev = self.sim.event(name=f"ep{self.ep_id}.credit")
             self._credit_waiters.append(ev)
             yield ev
@@ -349,6 +355,10 @@ class Endpoint:  # repro-lint: disable=L003
         self.qp.post_recv(RecvWR(sge=Sge(buf.mr), context=buf))
 
     def _post(self, wr: SendWR, ud_destination=None) -> None:
+        if tracer.enabled and wr.trace is None:
+            # Inherit the trace rider from the AM the WR carries (RDMA
+            # READs get theirs set explicitly by the progress engine).
+            wr.trace = getattr(wr.app_object, "trace", None)
         try:
             if self.reliable:
                 self.qp.post_send(wr)

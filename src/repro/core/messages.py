@@ -56,6 +56,11 @@ class AmWire:
     origin_counter_id: int = 0
     #: Piggybacked receive-credit returns.
     credits_returned: int = 0
+    #: Telemetry rider (a ``TraceContext`` or None).  Never counted in
+    #: ``wire_bytes()``: real UCR would pack the 16-byte context into the
+    #: fixed header's padding, and keeping it out of the cost model is
+    #: what makes tracing digest-neutral.
+    trace: Any = None
     seq: int = field(default_factory=lambda: next(_am_seq))
 
     @property

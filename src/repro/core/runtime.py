@@ -17,6 +17,7 @@ from repro.core.context import UcrContext
 from repro.core.counters import UcrCounter
 from repro.core.endpoint import Endpoint
 from repro.core.params import UCR_DEFAULT, UcrParams
+from repro.telemetry import tracer
 from repro.verbs.cm import ConnectionManager
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -202,6 +203,11 @@ class UcrRuntime:
             qp._ucr_endpoint = ep
 
         def on_connected(qp, private_data):
+            if tracer.enabled:
+                tracer.instant(
+                    "am.accept", "am", self.sim.now,
+                    service_id=service_id, peer=str(private_data),
+                )
             on_endpoint(qp._ucr_endpoint, private_data)
 
         self.cm.listen(service_id, on_connected, self.pd, make_cqs, on_prepare)

@@ -31,6 +31,8 @@ class ExperimentReport:
     checks: list[tuple[str, bool, str]] = field(default_factory=list)
     #: raw benchmark results for downstream analysis.
     raw: list[MemslapResult] = field(default_factory=list)
+    #: structured side outputs (e.g. an exportable Chrome trace document).
+    artifacts: dict = field(default_factory=dict)
 
     def check(self, claim: str, passed: bool, detail: str = "") -> None:
         self.checks.append((claim, passed, detail))

@@ -1,0 +1,150 @@
+"""Per-layer latency breakdown of a 4 KB Get (telemetry showcase).
+
+Not a figure from the paper: the paper reports end-to-end numbers and
+*argues* where the time goes (§VI-B: "the performance benefits ... come
+from avoiding the overhead of the sockets stack").  This experiment
+makes that argument measurable.  A traced single-client run yields one
+span tree per operation; the median operation's tree is partitioned
+into per-layer microseconds (client library, AM runtime or sockets
+stack, verbs, fabric, server dispatch, store) whose sum telescopes to
+the end-to-end latency exactly.
+
+The run also exports the full span set as Chrome trace-event JSON --
+load it in Perfetto (or ``repro-trace view``) to see every operation's
+timeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.report import FigureSeries
+from repro.cluster.configs import CLUSTER_A
+from repro.experiments.common import ExperimentReport, build_cluster
+from repro.telemetry import (
+    chrome_document,
+    format_breakdown_table,
+    median_decomposition,
+    spans_by_trace,
+    tracer,
+    tracing,
+    validate_chrome,
+    write_chrome,
+)
+from repro.workloads.memslap import MemslapRunner
+from repro.workloads.patterns import GET_ONLY
+
+#: RC verbs vs the two paper sockets-over-IB personalities.
+TRANSPORTS = ["UCR-IB", "SDP", "IPoIB"]
+VALUE_SIZE = 4096
+
+
+def _traced_run(transport: str, n_ops: int):
+    """One traced single-client run; returns (result, traces, spans, instants)."""
+    cluster = build_cluster(CLUSTER_A)
+    runner = MemslapRunner(
+        cluster,
+        transport,
+        value_size=VALUE_SIZE,
+        pattern=GET_ONLY,
+        n_clients=1,
+        n_ops_per_client=n_ops,
+        warmup_ops=3,
+    )
+    with tracing():
+        result = runner.run()
+        spans = tracer.finished_spans()
+        instants = list(tracer.instants)
+    # Only timed Gets count: prepopulate/warmup ops trace too, but they
+    # start before the measured window opens.
+    traces = [
+        trace
+        for trace in spans_by_trace(spans).values()
+        if any(
+            s.parent_id is None
+            and s.name == "client.get"
+            and s.start_us >= result.started_at_us
+            for s in trace
+        )
+    ]
+    return result, traces, spans, instants
+
+
+def run(fast: bool = False, export_path: Optional[str] = None) -> ExperimentReport:
+    """Reproduce the layer-attribution breakdown; see module docstring.
+
+    Odd op counts keep the median an observed sample, so the span tree
+    it selects *is* the operation the latency recorder reports.
+    """
+    n_ops = 21 if fast else 51
+    report = ExperimentReport(
+        figure="breakdown",
+        description=f"per-layer µs of a {VALUE_SIZE // 1024} KB Get "
+        "(median op, single client)",
+    )
+
+    columns: dict[str, dict[str, float]] = {}
+    e2e = FigureSeries(label="end-to-end")
+    layer_series: dict[str, FigureSeries] = {}
+    chrome_groups = []
+    medians: dict[str, float] = {}
+
+    for transport in TRANSPORTS:
+        result, traces, spans, instants = _traced_run(transport, n_ops)
+        report.raw.append(result)
+        chrome_groups.append((transport, spans, instants))
+
+        root, layers = median_decomposition(traces)
+        columns[transport] = layers
+        median = result.get_latency.median()
+        medians[transport] = median
+        e2e.add(transport, median)
+        for layer, us in layers.items():
+            layer_series.setdefault(layer, FigureSeries(label=layer)).add(
+                transport, us
+            )
+
+        drift = abs(sum(layers.values()) - median)
+        report.check(
+            f"{transport}: layer µs sum within 1% of measured e2e median",
+            drift <= 0.01 * median,
+            f"sum={sum(layers.values()):.3f} median={median:.3f} µs",
+        )
+        report.check(
+            f"{transport}: every timed op produced a complete trace",
+            len(traces) == n_ops,
+            f"{len(traces)}/{n_ops} traces",
+        )
+
+    report.check(
+        "UCR-IB spends nothing in the sockets layer (RDMA path)",
+        columns["UCR-IB"].get("sockets", 0.0) == 0.0,
+    )
+    report.check(
+        "sockets stack dominates SDP/IPoIB while UCR replaces it with "
+        "a thinner AM+verbs path",
+        all(
+            columns[t].get("sockets", 0.0)
+            > columns["UCR-IB"].get("am", 0.0) + columns["UCR-IB"].get("verbs", 0.0)
+            for t in ("SDP", "IPoIB")
+        ),
+    )
+    report.check(
+        "UCR-IB end-to-end beats both sockets personalities",
+        medians["UCR-IB"] < medians["SDP"] and medians["UCR-IB"] < medians["IPoIB"],
+        " vs ".join(f"{t}={medians[t]:.1f}µs" for t in TRANSPORTS),
+    )
+
+    report.panels["breakdown"] = list(layer_series.values()) + [e2e]
+    report.tables.append(
+        format_breakdown_table(
+            f"{VALUE_SIZE}B Get: per-layer µs (median op)", columns
+        )
+    )
+
+    document = chrome_document(chrome_groups)
+    validate_chrome(document)
+    report.artifacts["chrome_trace"] = document
+    if export_path is not None:
+        write_chrome(export_path, document)
+    return report

@@ -15,7 +15,7 @@ import sys
 import time
 from typing import Callable
 
-from repro.experiments import extensions, figure3, figure4, figure5, figure6
+from repro.experiments import extensions, figure3, figure4, figure5, figure6, figure_breakdown
 from repro.experiments.common import ExperimentReport
 
 FIGURES: dict[str, Callable[[bool], ExperimentReport]] = {
@@ -24,6 +24,7 @@ FIGURES: dict[str, Callable[[bool], ExperimentReport]] = {
     "5": figure5.run,
     "6": figure6.run,
     "6s": figure6.run_sharded,
+    "breakdown": figure_breakdown.run,
     "ext": extensions.run,
 }
 

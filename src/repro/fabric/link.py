@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.sim import Event, Resource
 from repro.sim.trace import Counter
+from repro.telemetry import tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fabric.params import LinkParams
@@ -142,6 +143,14 @@ class Nic:
     def _transfer(self, frame: Frame, delivered: Event, tx_done: Optional[Event]):
         sim = self.sim
         frame.sent_at = sim.now
+        span = None
+        if tracer.enabled:
+            rider = getattr(frame.payload, "trace", None)
+            if rider is not None:
+                span = tracer.begin(
+                    "fabric.xfer", "fabric", sim.now, parent=rider,
+                    nbytes=frame.nbytes, src=self.name, dst=frame.dst.name,
+                )
 
         # Serialize on the local wire.
         req = self.tx.request()
@@ -164,6 +173,8 @@ class Nic:
 
         frame.delivered_at = sim.now
         frame.dst.frames_received.add()
+        if tracer.enabled:
+            tracer.end(span, sim.now)
         handler = frame.dst.rx_handler
         if handler is None:
             delivered.fail(RuntimeError(f"{frame.dst.name}: no rx handler installed"))

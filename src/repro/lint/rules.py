@@ -421,6 +421,104 @@ class DuplicateMsgIdRule(Rule):
         return None
 
 
+class TelemetryGuardRule(Rule):
+    """L006: tracing must stay zero-cost when disabled.
+
+    Two obligations.  Inside ``telemetry/`` itself, every class declares
+    ``__slots__`` -- spans are created per instrumented event, the same
+    argument as L003's hot-path surface.  Everywhere else, calls to the
+    tracer's recording methods (``begin``/``end``/``instant``) must be
+    syntactically guarded by a check of ``tracer.enabled`` (an ``if``
+    statement, conditional expression, or short-circuiting ``and``), so
+    a disabled tracer costs one attribute read per call site and the
+    instrumented run's event stream is bit-identical to an untraced one.
+    """
+
+    rule_id = "L006"
+    title = "telemetry classes slotted; tracer call sites guarded"
+    scopes = ("src",)
+
+    #: Recording methods that must be guarded (readers like
+    #: ``finished_spans`` are fine unguarded -- they run off the hot path).
+    TRACER_METHODS = frozenset({"begin", "end", "instant"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Dispatch on which side of the telemetry boundary *ctx* is."""
+        if "telemetry" in ctx.path.parts:
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if SlotsRule._exempt(node) or SlotsRule._has_slots(node):
+                    continue
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"telemetry class {node.name} lacks __slots__ "
+                    f"(spans are created per instrumented event)",
+                )
+            return
+        yield from self._scan(ctx, ctx.tree, guarded=False)
+
+    @staticmethod
+    def _mentions_enabled(node: ast.AST) -> bool:
+        """True when *node* reads an ``.enabled`` attribute anywhere."""
+        return any(
+            isinstance(n, ast.Attribute) and n.attr == "enabled"
+            for n in ast.walk(node)
+        )
+
+    def _is_tracer_call(self, node: ast.AST) -> bool:
+        """``tracer.begin(...)``-shaped call (any receiver named tracer)."""
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            return False
+        if node.func.attr not in self.TRACER_METHODS:
+            return False
+        recv = node.func.value
+        name = recv.attr if isinstance(recv, ast.Attribute) else getattr(recv, "id", "")
+        return name == "tracer"
+
+    def _scan(self, ctx: ModuleContext, node: ast.AST, guarded: bool) -> Iterator[Finding]:
+        """Walk children of *node* carrying the guard state."""
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan_node(ctx, child, guarded)
+
+    def _scan_node(self, ctx: ModuleContext, node: ast.AST, guarded: bool) -> Iterator[Finding]:
+        """Track guardedness through ifs, conditionals and ``and`` chains."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            # A new code object: outer guards do not protect calls that
+            # run later (the closure may outlive the check).
+            yield from self._scan(ctx, node, guarded=False)
+            return
+        if isinstance(node, ast.If):
+            body_guarded = guarded or self._mentions_enabled(node.test)
+            yield from self._scan_node(ctx, node.test, guarded)
+            for stmt in node.body:
+                yield from self._scan_node(ctx, stmt, body_guarded)
+            for stmt in node.orelse:
+                yield from self._scan_node(ctx, stmt, guarded)
+            return
+        if isinstance(node, ast.IfExp):
+            body_guarded = guarded or self._mentions_enabled(node.test)
+            yield from self._scan_node(ctx, node.test, guarded)
+            yield from self._scan_node(ctx, node.body, body_guarded)
+            yield from self._scan_node(ctx, node.orelse, guarded)
+            return
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+            seen_enabled = False
+            for value in node.values:
+                yield from self._scan_node(ctx, value, guarded or seen_enabled)
+                seen_enabled = seen_enabled or self._mentions_enabled(value)
+            return
+        if not guarded and self._is_tracer_call(node):
+            yield self.finding(
+                ctx,
+                node,
+                f"unguarded tracer.{node.func.attr}() call "
+                f"(wrap in `if tracer.enabled`)",
+            )
+        yield from self._scan(ctx, node, guarded)
+
+
 #: Every rule, in report order.
 ALL_RULES: tuple[Rule, ...] = (
     WallClockRule(),
@@ -428,4 +526,5 @@ ALL_RULES: tuple[Rule, ...] = (
     SlotsRule(),
     MutableDefaultRule(),
     DuplicateMsgIdRule(),
+    TelemetryGuardRule(),
 )

@@ -40,6 +40,7 @@ from repro.memcached.server import (
     McRequest,
     McResponse,
 )
+from repro.telemetry import tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.context import UcrContext
@@ -61,6 +62,11 @@ class ClientCosts:
 
 
 DEFAULT_TIMEOUT_US = 1_000_000.0
+
+
+def _ctx(span):
+    """The TraceContext of *span*, or None when tracing is off."""
+    return span.ctx if span is not None else None
 
 
 # ---------------------------------------------------------------------------
@@ -97,8 +103,8 @@ class _SocketConn:
             self.tokens.extend(self.parser.feed(data))
         return self.tokens.pop(0)
 
-    def send(self, payload: bytes):
-        yield from self.sock.send(payload)
+    def send(self, payload: bytes, trace=None):
+        yield from self.sock.send(payload, trace=trace)
 
 
 class SocketsTransport:
@@ -143,12 +149,22 @@ class SocketsTransport:
 
     # binary round trips --------------------------------------------------------
 
-    def bin_roundtrip(self, server: str, payload: bytes):
+    def bin_roundtrip(self, server: str, payload: bytes, trace=None):
         """Send one binary request; return its BinMessage response."""
         yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_ucr_us))
-        c = yield from self.conn(server)
-        yield from c.send(payload)
-        msg = yield from c.next_token()
+        span = (
+            tracer.begin("sockets.roundtrip", "sockets", self.sim.now,
+                         parent=trace, server=server)
+            if tracer.enabled and trace is not None
+            else None
+        )
+        try:
+            c = yield from self.conn(server)
+            yield from c.send(payload, trace=_ctx(span))
+            msg = yield from c.next_token()
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
         yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.parse_ucr_us))
         return msg
 
@@ -165,20 +181,45 @@ class SocketsTransport:
 
     # one round trip ----------------------------------------------------------
 
-    def simple(self, server: str, payload: bytes):
+    def simple(self, server: str, payload: bytes, trace=None):
         """Send; return the first reply token."""
         yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_text_us))
-        c = yield from self.conn(server)
-        yield from c.send(payload)
-        token = yield from c.next_token()
+        span = (
+            tracer.begin("sockets.roundtrip", "sockets", self.sim.now,
+                         parent=trace, server=server)
+            if tracer.enabled and trace is not None
+            else None
+        )
+        try:
+            c = yield from self.conn(server)
+            yield from c.send(payload, trace=_ctx(span))
+            token = yield from c.next_token()
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
         yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.parse_text_us))
         return token
 
-    def values(self, server: str, payload: bytes):
+    def values(self, server: str, payload: bytes, trace=None):
         """Send; collect ValueReply tokens until END."""
         yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_text_us))
+        span = (
+            tracer.begin("sockets.roundtrip", "sockets", self.sim.now,
+                         parent=trace, server=server)
+            if tracer.enabled and trace is not None
+            else None
+        )
+        try:
+            out = yield from self._collect_values(server, payload, span)
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
+        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.parse_text_us))
+        return out
+
+    def _collect_values(self, server: str, payload: bytes, span=None):
         c = yield from self.conn(server)
-        yield from c.send(payload)
+        yield from c.send(payload, trace=_ctx(span))
         out = []
         while True:
             token = yield from c.next_token()
@@ -190,14 +231,13 @@ class SocketsTransport:
                 raise ServerError(token)
             else:
                 raise ProtocolError(f"unexpected token {token!r} in get reply")
-        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.parse_text_us))
         return out
 
-    def fire(self, server: str, payload: bytes):
+    def fire(self, server: str, payload: bytes, trace=None):
         """Send with no reply expected (noreply)."""
         yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_text_us))
         c = yield from self.conn(server)
-        yield from c.send(payload)
+        yield from c.send(payload, trace=trace)
 
 
 # ---------------------------------------------------------------------------
@@ -292,6 +332,16 @@ class UcrTransport:
         (a parallel mget fan-out) route their responses independently.
         """
         yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_ucr_us))
+        span = (
+            tracer.begin("am.roundtrip", "am", self.sim.now,
+                         parent=request.trace, server=server, op=request.op)
+            if tracer.enabled and request.trace is not None
+            else None
+        )
+        if span is not None:
+            # Downstream layers (WQE post, fabric, remote handler) parent
+            # their spans under the round-trip, not the client root.
+            request.trace = span.ctx
         ep = yield from self.endpoint(server)
         counter = self._checkout_counter()
         request.counter_id = counter.counter_id
@@ -320,6 +370,8 @@ class UcrTransport:
             raise ServerDownError(f"{server}: {exc}") from exc
         finally:
             self._checkin_counter(counter)
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
         yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.parse_ucr_us))
         entry = self._pending.pop(rid, None)
         assert entry is not None, "counter fired before response landed"
@@ -523,27 +575,40 @@ class MemcachedClient:
         return self._storage("replace", key, value, flags, exptime)
 
     def _storage(self, cmd: str, key: str, value: bytes, flags: int, exptime: float):
-        server = yield from self._pick(key)
-        if self._ucr:
-            req = McRequest(op=cmd, keys=[key], flags=flags, exptime=exptime,
-                            value_length=len(value))
-            header, _ = yield from self.transport.roundtrip(server, req, value)
-            return header.status == "stored"
-        if self._binary:
-            opcode = {
-                "set": binp.Opcode.SET,
-                "add": binp.Opcode.ADD,
-                "replace": binp.Opcode.REPLACE,
-            }[cmd]
-            msg = yield from self.transport.bin_roundtrip(
-                server, binp.build_set(key, value, flags, int(exptime), opcode=opcode)
-            )
-            return self._bin_check(msg)
-        token = yield from self.transport.simple(
-            server, protocol.build_storage(cmd, key, flags, exptime, value)
+        span = (
+            tracer.begin(f"client.{cmd}", "client", self.sim.now,
+                         key=key, nbytes=len(value))
+            if tracer.enabled
+            else None
         )
-        self._raise_on_error(token)
-        return token == "STORED"
+        try:
+            server = yield from self._pick(key)
+            if self._ucr:
+                req = McRequest(op=cmd, keys=[key], flags=flags, exptime=exptime,
+                                value_length=len(value), trace=_ctx(span))
+                header, _ = yield from self.transport.roundtrip(server, req, value)
+                return header.status == "stored"
+            if self._binary:
+                opcode = {
+                    "set": binp.Opcode.SET,
+                    "add": binp.Opcode.ADD,
+                    "replace": binp.Opcode.REPLACE,
+                }[cmd]
+                msg = yield from self.transport.bin_roundtrip(
+                    server,
+                    binp.build_set(key, value, flags, int(exptime), opcode=opcode),
+                    trace=_ctx(span),
+                )
+                return self._bin_check(msg)
+            token = yield from self.transport.simple(
+                server, protocol.build_storage(cmd, key, flags, exptime, value),
+                trace=_ctx(span),
+            )
+            self._raise_on_error(token)
+            return token == "STORED"
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
 
     def cas(self, key: str, value: bytes, cas_token: int, flags: int = 0, exptime: float = 0):
         """Returns 'stored' | 'exists' | 'not_found'."""
@@ -578,21 +643,34 @@ class MemcachedClient:
 
     def get(self, key: str):
         """Returns the value bytes, or None on miss."""
-        server = yield from self._pick(key)
-        if self._ucr:
-            req = McRequest(op="get", keys=[key])
-            header, payload = yield from self.transport.roundtrip(server, req)
-            if not header.values_meta:
-                return None
-            return payload
-        if self._binary:
-            msg = yield from self.transport.bin_roundtrip(server, binp.build_get(key))
-            if msg.status == binp.Status.KEY_NOT_FOUND:
-                return None
-            self._bin_check(msg)
-            return msg.value
-        replies = yield from self.transport.values(server, protocol.build_get([key]))
-        return replies[0].data if replies else None
+        span = (
+            tracer.begin("client.get", "client", self.sim.now, key=key)
+            if tracer.enabled
+            else None
+        )
+        try:
+            server = yield from self._pick(key)
+            if self._ucr:
+                req = McRequest(op="get", keys=[key], trace=_ctx(span))
+                header, payload = yield from self.transport.roundtrip(server, req)
+                if not header.values_meta:
+                    return None
+                return payload
+            if self._binary:
+                msg = yield from self.transport.bin_roundtrip(
+                    server, binp.build_get(key), trace=_ctx(span)
+                )
+                if msg.status == binp.Status.KEY_NOT_FOUND:
+                    return None
+                self._bin_check(msg)
+                return msg.value
+            replies = yield from self.transport.values(
+                server, protocol.build_get([key]), trace=_ctx(span)
+            )
+            return replies[0].data if replies else None
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
 
     def gets(self, key: str):
         """Returns (value, cas) or None."""

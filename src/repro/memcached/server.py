@@ -30,6 +30,7 @@ from repro.memcached.protocol import Request, RequestParser
 from repro.memcached.store import ItemStore, StoreConfig
 from repro.sockets.api import Socket, WouldBlock
 from repro.sockets.epoll import EPOLLIN, Epoll
+from repro.telemetry import tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.endpoint import Endpoint
@@ -88,6 +89,9 @@ class McRequest:
     request_id: int = 0
     #: Filled by the server's header handler for two-phase sets.
     reserved_item: Any = None
+    #: Telemetry rider (a TraceContext); rides the fixed header's padding
+    #: in the real protocol, so it is never counted in wire bytes.
+    trace: Any = None
 
 
 @dataclass
@@ -103,16 +107,21 @@ class McResponse:
     message: str = ""
     #: Echoed from the request (UD retransmission matching).
     request_id: int = 0
+    #: Telemetry rider: the server-side span context, so reply-path spans
+    #: attach under the handling operation.  Never counted in wire bytes.
+    trace: Any = None
 
 
 class _ConnState:
     """Per-connection protocol state: sniffed on the first byte."""
 
-    __slots__ = ("kind", "parser")
+    __slots__ = ("kind", "parser", "last_trace")
 
     def __init__(self) -> None:
         self.kind: Optional[str] = None  # 'text' | 'binary'
         self.parser = None
+        #: Most recent telemetry rider received on this connection.
+        self.last_trace = None
 
     def sniff(self, first_byte: int) -> None:
         """Real memcached: a 0x80 first byte selects the binary codec."""
@@ -165,6 +174,10 @@ class _Worker:
             return
         if state.kind is None:
             state.sniff(data[0])
+        if tracer.enabled:
+            riders = sock.take_traces()
+            if riders:
+                state.last_trace = riders[-1]
         if state.kind == "text":
             yield from self._service_text(sock, state, data)
         else:
@@ -181,15 +194,29 @@ class _Worker:
         for req in requests:
             self.requests_handled += 1
             server.stats_requests += 1
-            yield from server.node.cpu_run(
-                server.node.host.cpu_time(server.costs.parse_dispatch_us)
+            span = (
+                tracer.begin("server.op", "server", server.sim.now,
+                             parent=state.last_trace, op=req.command)
+                if tracer.enabled and state.last_trace is not None
+                else None
             )
-            if req.command == "quit":
-                self._drop(sock)
-                return
-            response = yield from server.execute_text(req)
-            if response is not None and not req.noreply:
-                yield from sock.send(response)
+            try:
+                yield from server.node.cpu_run(
+                    server.node.host.cpu_time(server.costs.parse_dispatch_us)
+                )
+                if req.command == "quit":
+                    self._drop(sock)
+                    return
+                response = yield from server.execute_text(
+                    req, trace=span.ctx if span is not None else None
+                )
+                if response is not None and not req.noreply:
+                    yield from sock.send(
+                        response, trace=span.ctx if span is not None else None
+                    )
+            finally:
+                if tracer.enabled:
+                    tracer.end(span, server.sim.now)
 
     def _service_binary(self, sock: Socket, state: _ConnState, data: bytes):
         server = self.server
@@ -201,16 +228,30 @@ class _Worker:
         for msg in messages:
             self.requests_handled += 1
             server.stats_requests += 1
-            yield from server.node.cpu_run(
-                server.node.host.cpu_time(server.costs.parse_binary_us)
+            span = (
+                tracer.begin("server.op", "server", server.sim.now,
+                             parent=state.last_trace, op=msg.opcode.name)
+                if tracer.enabled and state.last_trace is not None
+                else None
             )
-            if msg.opcode == binp.Opcode.QUIT:
-                yield from sock.send(binp.respond(msg))
-                self._drop(sock)
-                return
-            response = yield from server.execute_binary(msg)
-            if response:
-                yield from sock.send(response)
+            try:
+                yield from server.node.cpu_run(
+                    server.node.host.cpu_time(server.costs.parse_binary_us)
+                )
+                if msg.opcode == binp.Opcode.QUIT:
+                    yield from sock.send(binp.respond(msg))
+                    self._drop(sock)
+                    return
+                response = yield from server.execute_binary(
+                    msg, trace=span.ctx if span is not None else None
+                )
+                if response:
+                    yield from sock.send(
+                        response, trace=span.ctx if span is not None else None
+                    )
+            finally:
+                if tracer.enabled:
+                    tracer.end(span, server.sim.now)
 
 
 class MemcachedServer:
@@ -259,21 +300,31 @@ class MemcachedServer:
 
     # -- command execution (text protocol) -----------------------------------------
 
-    def execute_text(self, req: Request):
+    def execute_text(self, req: Request, trace=None):
         """Process helper: run one parsed command, return response bytes."""
         costs = self.costs
         node = self.node
-        yield from node.cpu_run(node.host.cpu_time(costs.op_execute_us))
+        span = (
+            tracer.begin("store.apply", "store", self.sim.now,
+                         parent=trace, op=req.command)
+            if tracer.enabled and trace is not None
+            else None
+        )
         try:
-            if req.command in ("get", "gets"):
-                return (yield from self._text_get(req))
-            out = self._apply_store_op(req)
-        except ClientError as exc:
-            return protocol.encode_client_error(str(exc))
-        except ServerError as exc:
-            return protocol.encode_server_error(str(exc))
-        yield from node.cpu_run(node.host.cpu_time(costs.response_build_us))
-        return out
+            yield from node.cpu_run(node.host.cpu_time(costs.op_execute_us))
+            try:
+                if req.command in ("get", "gets"):
+                    return (yield from self._text_get(req))
+                out = self._apply_store_op(req)
+            except ClientError as exc:
+                return protocol.encode_client_error(str(exc))
+            except ServerError as exc:
+                return protocol.encode_server_error(str(exc))
+            yield from node.cpu_run(node.host.cpu_time(costs.response_build_us))
+            return out
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
 
     def _text_get(self, req: Request):
         node = self.node
@@ -354,13 +405,27 @@ class MemcachedServer:
 
     # -- command execution (binary protocol) -----------------------------------------
 
-    def execute_binary(self, msg: "binp.BinMessage"):
+    def execute_binary(self, msg: "binp.BinMessage", trace=None):
         """Process helper: run one binary command, return response bytes."""
         costs = self.costs
         node = self.node
         store = self.store
         Op, St = binp.Opcode, binp.Status
-        yield from node.cpu_run(node.host.cpu_time(costs.op_execute_us))
+        span = (
+            tracer.begin("store.apply", "store", self.sim.now,
+                         parent=trace, op=msg.opcode.name)
+            if tracer.enabled and trace is not None
+            else None
+        )
+        try:
+            yield from node.cpu_run(node.host.cpu_time(costs.op_execute_us))
+            result = yield from self._execute_binary_inner(msg, store, node, Op, St)
+            return result
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
+
+    def _execute_binary_inner(self, msg, store, node, Op, St):
         key = msg.key.decode("ascii", errors="replace")
         try:
             if msg.opcode in (Op.GET, Op.GETK):
@@ -593,45 +658,70 @@ class UcrServerPort:
         node = server.node
         costs = server.costs
         server.stats_requests += 1
-        yield from node.cpu_run(node.host.cpu_time(costs.ucr_decode_us))
-        cached = self._dedup_lookup(header) if not ep.reliable else None
-        if cached is not None:
-            # Retransmitted UD request: replay, never re-execute.
-            response, payload, location = cached
-        else:
-            yield from node.cpu_run(node.host.cpu_time(costs.ucr_op_execute_us))
-            try:
-                response, payload, location = self._apply(header, data)
-            except ClientError as exc:
-                response, payload, location = McResponse("error", message=str(exc)), b"", None
-            except ServerError as exc:
-                response, payload, location = McResponse("error", message=str(exc)), b"", None
-            if not ep.reliable:
-                self._dedup_store(header, (response, payload, location))
-        if header.noreply:
-            return
-        yield from node.cpu_run(node.host.cpu_time(costs.ucr_response_us))
-        send_kwargs = {}
-        if not ep.reliable and header.reply_qpn:
-            # UD mode: address the response at the client's UD QP
-            # (resolved fabric-wide, like a cached address handle).
-            from repro.verbs.device import lookup_qp
-
-            try:
-                send_kwargs["ud_destination"] = lookup_qp(header.reply_qpn)
-            except KeyError:
-                return  # client vanished: drop the reply (UD semantics)
-        response.request_id = header.request_id
-        yield from ep.send_message(
-            MSG_MC_RESPONSE,
-            header=response,
-            header_bytes=MC_RESPONSE_HEADER_BYTES
-            + 8 * len(response.values_meta or []),
-            data=payload,
-            data_location=location,
-            target_counter=_CounterRef(header.counter_id) if header.counter_id else None,
-            **send_kwargs,
+        rider = getattr(header, "trace", None)
+        span = (
+            tracer.begin("server.op", "server", self.sim.now,
+                         parent=rider, op=header.op)
+            if tracer.enabled and rider is not None
+            else None
         )
+        try:
+            yield from node.cpu_run(node.host.cpu_time(costs.ucr_decode_us))
+            cached = self._dedup_lookup(header) if not ep.reliable else None
+            if cached is not None:
+                # Retransmitted UD request: replay, never re-execute.
+                response, payload, location = cached
+            else:
+                apply_span = (
+                    tracer.begin("store.apply", "store", self.sim.now,
+                                 parent=span, op=header.op)
+                    if tracer.enabled and span is not None
+                    else None
+                )
+                try:
+                    yield from node.cpu_run(node.host.cpu_time(costs.ucr_op_execute_us))
+                    try:
+                        response, payload, location = self._apply(header, data)
+                    except ClientError as exc:
+                        response, payload, location = McResponse("error", message=str(exc)), b"", None
+                    except ServerError as exc:
+                        response, payload, location = McResponse("error", message=str(exc)), b"", None
+                finally:
+                    if tracer.enabled:
+                        tracer.end(apply_span, self.sim.now)
+                if not ep.reliable:
+                    self._dedup_store(header, (response, payload, location))
+            if header.noreply:
+                return
+            yield from node.cpu_run(node.host.cpu_time(costs.ucr_response_us))
+            send_kwargs = {}
+            if not ep.reliable and header.reply_qpn:
+                # UD mode: address the response at the client's UD QP
+                # (resolved fabric-wide, like a cached address handle).
+                from repro.verbs.device import lookup_qp
+
+                try:
+                    send_kwargs["ud_destination"] = lookup_qp(header.reply_qpn)
+                except KeyError:
+                    return  # client vanished: drop the reply (UD semantics)
+            response.request_id = header.request_id
+            if span is not None:
+                # Reply-path spans (WQE post, fabric, client delivery)
+                # attach under the handling operation.
+                response.trace = span.ctx
+            yield from ep.send_message(
+                MSG_MC_RESPONSE,
+                header=response,
+                header_bytes=MC_RESPONSE_HEADER_BYTES
+                + 8 * len(response.values_meta or []),
+                data=payload,
+                data_location=location,
+                target_counter=_CounterRef(header.counter_id) if header.counter_id else None,
+                **send_kwargs,
+            )
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
 
     def _apply(self, req: McRequest, data: bytes):
         """Returns (response_header, payload_bytes, zero_copy_location)."""

@@ -114,6 +114,14 @@ class LatencyRecorder:
             "jitter": self.jitter(),
         }
 
+    def histogram(self, significant_bits: int = 5):
+        """The samples as an exportable fixed-bucket histogram
+        (:class:`repro.telemetry.histogram.FixedBucketHistogram`)."""
+        from repro.telemetry.histogram import FixedBucketHistogram
+
+        self._require_samples()
+        return FixedBucketHistogram.from_samples(self._samples, significant_bits)
+
     def _require_samples(self) -> None:
         if not self._samples:
             raise ValueError(f"latency recorder {self.name!r} has no samples")

@@ -168,12 +168,14 @@ class Socket:
 
     # -- data path ---------------------------------------------------------------------
 
-    def send(self, data: bytes):
+    def send(self, data: bytes, trace=None):
         """Process helper: write *data* to the stream; returns len(data).
 
         The byte-stream tax is explicit here: a syscall, the software
         overhead, and (stack permitting) a user-to-transmit-path copy, all
-        before a single byte reaches the wire.
+        before a single byte reaches the wire.  *trace* is a telemetry
+        rider (a ``TraceContext``) carried with the bytes to the peer;
+        it never changes byte counts or costs.
         """
         conn = self._require_conn()
         params = self.stack.params
@@ -192,7 +194,7 @@ class Socket:
             if not self.blocking:
                 raise WouldBlock("send buffer full")
             yield conn.wait_sndbuf_space()
-        conn.enqueue_send(data, zcopy)
+        conn.enqueue_send(data, zcopy, trace=trace)
         return len(data)
 
     def recv(self, max_bytes: int):
@@ -214,6 +216,19 @@ class Socket:
                 self.node.host.memcpy_time(len(chunk)) / params.copy_bandwidth_factor
             )
         return chunk
+
+    def take_traces(self) -> list:
+        """Drain telemetry riders that arrived with received bytes.
+
+        Plain method (not a process helper): draining costs nothing in
+        simulated time.  Empty unless the peer sent with ``trace=`` and
+        the tracer was enabled.
+        """
+        conn = self.conn
+        if conn is None or not conn.rx_traces:
+            return []
+        riders, conn.rx_traces = conn.rx_traces, []
+        return riders
 
     def recv_exactly(self, nbytes: int):
         """Process helper: loop recv until *nbytes* arrive (EOFError on close)."""

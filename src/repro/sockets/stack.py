@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.sim import Event, Store
 from repro.sim.rng import RngStream
+from repro.telemetry import tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fabric.link import Frame, Nic
@@ -46,6 +47,8 @@ class SegPacket:
     dst_port: int
     data: bytes = b""
     zcopy: bool = False
+    #: Telemetry rider (TraceContext or None); never enters wire sizes.
+    trace: Any = None
 
 
 @dataclass
@@ -56,6 +59,7 @@ class _TxItem:
     zcopy: bool
     done: Event
     fin: bool = False
+    trace: Any = None
 
 
 class Connection:
@@ -83,19 +87,22 @@ class Connection:
         self._sndbuf_waiters: list[Event] = []
         self._tx_queue: Store = Store(stack.sim, name=f"conn{self.conn_id}.tx")
         self._rx_queue: Store = Store(stack.sim, name=f"conn{self.conn_id}.rx")
+        #: Telemetry riders that arrived with delivered bytes, in order;
+        #: drained by ``Socket.take_traces`` (empty unless tracing).
+        self.rx_traces: list = []
         self.socket: Optional["Socket"] = None
         stack.sim.process(self._tx_pump(), label=f"conn{self.conn_id}-txpump")
         stack.sim.process(self._rx_pump(), label=f"conn{self.conn_id}-rxpump")
 
     # -- transmit side ----------------------------------------------------------
 
-    def enqueue_send(self, data: bytes, zcopy: bool) -> Event:
+    def enqueue_send(self, data: bytes, zcopy: bool, trace=None) -> Event:
         """Queue bytes for transmission; event fires once wired out."""
         if self.closed_locally:
             raise BrokenPipeError(f"connection {self.conn_id} is closed")
         done = self.sim.event(name=f"conn{self.conn_id}.send-done")
         self.bytes_unsent += len(data)
-        self._tx_queue.put(_TxItem(data, zcopy, done))
+        self._tx_queue.put(_TxItem(data, zcopy, done, trace=trace))
         return done
 
     def enqueue_fin(self) -> None:
@@ -135,6 +142,12 @@ class Connection:
                 stack.nic.send_frame(remote_nic, CONTROL_SEGMENT_BYTES, packet)
                 item.done.succeed()
                 return  # nothing follows a FIN
+            span = (
+                tracer.begin("sockets.tx", "sockets", sim.now,
+                             parent=item.trace, nbytes=len(item.data))
+                if tracer.enabled and item.trace is not None
+                else None
+            )
             if item.zcopy:
                 segments = [item.data]  # single hardware transfer
             else:
@@ -155,11 +168,14 @@ class Connection:
                     dst_port=self.remote_port,
                     data=seg,
                     zcopy=item.zcopy,
+                    trace=item.trace if tracer.enabled else None,
                 )
                 tx_done, _delivered = stack.nic.send_frame_tx_done(
                     remote_nic, len(seg), packet
                 )
                 yield tx_done  # keep segments of one stream in order
+            if tracer.enabled:
+                tracer.end(span, sim.now)
             self.bytes_unsent -= len(item.data)
             while self._sndbuf_waiters and not self.sndbuf_full:
                 self._sndbuf_waiters.pop(0).succeed()
@@ -180,16 +196,26 @@ class Connection:
             if packet.kind == "fin":
                 self.deliver_eof()
                 return
+            span = (
+                tracer.begin("sockets.rx", "sockets", self.sim.now,
+                             parent=packet.trace, nbytes=len(packet.data))
+                if tracer.enabled and packet.trace is not None
+                else None
+            )
             if not packet.zcopy and params.rx_per_segment_us > 0:
                 yield from node.cpu_run(params.rx_per_segment_us)
             if params.rx_notify_us > 0:
                 yield from node.cpu_run(params.rx_notify_us)
             if params.jitter_sigma > 0:
                 yield self.sim.timeout(self.stack.draw_jitter())
-            self.deliver(packet.data)
+            self.deliver(packet.data, trace=packet.trace)
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
 
-    def deliver(self, data: bytes) -> None:
+    def deliver(self, data: bytes, trace=None) -> None:
         """Stack receive path appends reassembled bytes (in arrival order)."""
+        if trace is not None:
+            self.rx_traces.append(trace)
         self.rx_buffer.extend(data)
         self._wake_receivers()
 

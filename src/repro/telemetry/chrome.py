@@ -1,0 +1,174 @@
+"""Chrome trace-event JSON export (loads in Perfetto / chrome://tracing).
+
+Spans become ``"X"`` complete events, instants become ``"i"`` events,
+and layers map to stable thread ids (named via ``"M"`` metadata) so the
+timeline renders as one lane per layer.  Timestamps pass through in
+microseconds -- the trace-event format's native unit, which conveniently
+is also the simulator's.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from repro.telemetry.spans import LAYERS, InstantEvent, Span
+
+#: layer -> tid; unknown layers get the overflow lane.
+_LAYER_TIDS = {layer: i + 1 for i, layer in enumerate(LAYERS)}
+_OVERFLOW_TID = len(LAYERS) + 1
+
+
+def _tid(layer: str) -> int:
+    return _LAYER_TIDS.get(layer, _OVERFLOW_TID)
+
+
+def trace_events(
+    spans: Iterable[Span],
+    instants: Iterable[InstantEvent] = (),
+    pid: int = 1,
+    process_name: str = "repro",
+) -> list[dict]:
+    """Flatten one capture into trace-event dicts (metadata first)."""
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for layer, tid in _LAYER_TIDS.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": layer},
+            }
+        )
+    for span in spans:
+        if span.end_us is None:
+            continue
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        args.update(span.attrs)
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.layer,
+                "ph": "X",
+                "ts": span.start_us,
+                "dur": span.end_us - span.start_us,
+                "pid": pid,
+                "tid": _tid(span.layer),
+                "args": args,
+            }
+        )
+    for inst in instants:
+        args = {"trace_id": inst.trace_id}
+        args.update(inst.attrs)
+        events.append(
+            {
+                "name": inst.name,
+                "cat": inst.layer,
+                "ph": "i",
+                "ts": inst.at_us,
+                "pid": pid,
+                "tid": _tid(inst.layer),
+                "s": "t",
+                "args": args,
+            }
+        )
+    return events
+
+
+def chrome_document(
+    groups: Sequence[tuple[str, Iterable[Span], Iterable[InstantEvent]]],
+) -> dict:
+    """Bundle ``(process_name, spans, instants)`` groups into one
+    document; each group renders as its own process row."""
+    events: list[dict] = []
+    for pid, (process_name, spans, instants) in enumerate(groups, start=1):
+        events.extend(trace_events(spans, instants, pid=pid, process_name=process_name))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome(path: Union[str, Path], document: dict) -> Path:
+    """Serialize *document* to *path* as stable, indented JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=1, sort_keys=True))
+    return path
+
+
+def validate_chrome(document: dict) -> None:
+    """Assert *document* is schema-valid trace-event JSON; raises
+    ``ValueError`` naming the first offending event otherwise."""
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        raise ValueError("not a JSON-object trace with a traceEvents list")
+    events = document["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, event in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where}: not an object")
+        for field in ("name", "ph", "pid", "tid"):
+            if field not in event:
+                raise ValueError(f"{where}: missing {field!r}")
+        ph = event["ph"]
+        if ph == "X":
+            for field in ("ts", "dur"):
+                if not isinstance(event.get(field), (int, float)):
+                    raise ValueError(f"{where}: X event needs numeric {field!r}")
+            if event["dur"] < 0:
+                raise ValueError(f"{where}: negative duration")
+        elif ph == "i":
+            if not isinstance(event.get("ts"), (int, float)):
+                raise ValueError(f"{where}: i event needs numeric ts")
+            if event.get("s") not in ("g", "p", "t"):
+                raise ValueError(f"{where}: i event scope must be g/p/t")
+        elif ph == "M":
+            if not isinstance(event.get("args"), dict) or "name" not in event["args"]:
+                raise ValueError(f"{where}: metadata event needs args.name")
+        else:
+            raise ValueError(f"{where}: unsupported phase {ph!r}")
+
+
+def spans_from_chrome(document: dict) -> list[Span]:
+    """Rebuild :class:`Span` objects from an exported document (the
+    ``repro-trace view`` path).  Only ``"X"`` events carrying the
+    span-identity args round-trip; ids are namespaced by pid so merged
+    multi-transport documents stay disjoint."""
+    validate_chrome(document)
+    spans: list[Span] = []
+    for event in document["traceEvents"]:
+        if event["ph"] != "X":
+            continue
+        args = event.get("args", {})
+        if "trace_id" not in args or "span_id" not in args:
+            continue
+        pid = event["pid"]
+        attrs = {
+            k: v
+            for k, v in args.items()
+            if k not in ("trace_id", "span_id", "parent_id")
+        }
+        span = Span(
+            trace_id=(pid, args["trace_id"]),
+            span_id=args["span_id"],
+            parent_id=args.get("parent_id"),
+            name=event["name"],
+            layer=event.get("cat", "client"),
+            start_us=event["ts"],
+            attrs=attrs,
+        )
+        span.end_us = event["ts"] + event["dur"]
+        spans.append(span)
+    return spans

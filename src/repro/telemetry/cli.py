@@ -1,0 +1,152 @@
+"""The ``repro-trace`` CLI: trace a mini-benchmark or view an export.
+
+``repro-trace run`` drives a small single-client memslap run with the
+tracer enabled, prints the median operation's flamegraph and per-layer
+breakdown, and optionally writes the Chrome trace-event JSON (open it
+in Perfetto).  ``repro-trace view`` re-renders a previously exported
+JSON file without re-running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.telemetry.breakdown import (
+    decompose_trace,
+    format_breakdown_table,
+    median_decomposition,
+    spans_by_trace,
+)
+from repro.telemetry.chrome import chrome_document, spans_from_chrome, write_chrome
+from repro.telemetry.flame import render_flame
+from repro.telemetry.spans import tracing
+
+TRANSPORTS = ("UCR-IB", "SDP", "IPoIB", "10GigE-TOE", "1GigE-TCP")
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    # Deferred imports: keep `repro-trace view` usable without pulling
+    # the whole simulator in, and avoid import cycles at package load.
+    from repro.cluster.configs import CLUSTER_A
+    from repro.experiments.common import build_cluster
+    from repro.workloads.memslap import MemslapRunner
+    from repro.workloads.patterns import GET_ONLY, SET_ONLY
+
+    if args.ops % 2 == 0:
+        print(
+            f"note: bumping --ops {args.ops} -> {args.ops + 1} "
+            "(odd counts make the median an observed sample)",
+            file=sys.stderr,
+        )
+        args.ops += 1
+
+    pattern = GET_ONLY if args.pattern == "get" else SET_ONLY
+    cluster = build_cluster(CLUSTER_A)
+    with tracing() as t:
+        runner = MemslapRunner(
+            cluster,
+            args.transport,
+            args.size,
+            pattern,
+            n_clients=1,
+            n_ops_per_client=args.ops,
+            warmup_ops=2,
+        )
+        result = runner.run()
+
+    window = result.started_at_us
+    op_name = f"client.{args.pattern}"
+    traces = [
+        tr
+        for tr in spans_by_trace(t.spans).values()
+        if any(
+            s.parent_id is None and s.name == op_name and s.start_us >= window
+            for s in tr
+        )
+    ]
+    if not traces:
+        print("no timed-region traces captured", file=sys.stderr)
+        return 1
+
+    root, layers = median_decomposition(traces)
+    median_trace = next(tr for tr in traces if tr[0].trace_id == root.trace_id)
+
+    print(
+        f"{args.transport} {args.pattern} {args.size} B: "
+        f"{len(traces)} timed ops, median {root.duration_us:.2f} µs "
+        f"(recorder median {result.latency.median():.2f} µs)"
+    )
+    print()
+    print(render_flame(median_trace))
+    print()
+    print(
+        format_breakdown_table(
+            f"per-layer µs (median {args.pattern}, {args.size} B, {args.transport})",
+            {args.transport: layers},
+        )
+    )
+    if args.output:
+        doc = chrome_document([(args.transport, t.spans, t.instants)])
+        path = write_chrome(args.output, doc)
+        print(f"\nwrote Chrome trace JSON: {path} (load in Perfetto)")
+    return 0
+
+
+def _cmd_view(args: argparse.Namespace) -> int:
+    try:
+        document = json.loads(Path(args.trace_file).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {args.trace_file}: {exc}", file=sys.stderr)
+        return 1
+    spans = spans_from_chrome(document)
+    traces = list(spans_by_trace(spans).values())
+    complete = [
+        tr for tr in traces if any(s.parent_id is None and s.end_us is not None for s in tr)
+    ]
+    if not complete:
+        print("no complete traces in file", file=sys.stderr)
+        return 1
+    root, layers = median_decomposition(complete)
+    median_trace = next(tr for tr in complete if tr[0].trace_id == root.trace_id)
+    print(f"{len(complete)} traces; median root {root.name} {root.duration_us:.2f} µs")
+    print()
+    print(render_flame(median_trace))
+    print()
+    print(format_breakdown_table("per-layer µs (median trace)", {"µs": layers}))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-trace`` argument parser (run / view subcommands)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Span tracing for the memcached-over-RDMA reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="trace a small benchmark run")
+    run.add_argument("--transport", choices=TRANSPORTS, default="UCR-IB")
+    run.add_argument("--size", type=int, default=4096, help="value bytes")
+    run.add_argument("--ops", type=int, default=9, help="timed ops (odd)")
+    run.add_argument("--pattern", choices=("get", "set"), default="get")
+    run.add_argument("-o", "--output", default=None, help="Chrome trace JSON path")
+    run.set_defaults(func=_cmd_run)
+
+    view = sub.add_parser("view", help="render an exported trace JSON")
+    view.add_argument("trace_file")
+    view.set_defaults(func=_cmd_view)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Console entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro-trace
+    raise SystemExit(main())

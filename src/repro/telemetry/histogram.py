@@ -1,0 +1,163 @@
+"""Deterministic fixed-bucket HDR-style latency histogram.
+
+Buckets are laid out like HdrHistogram's: each power-of-two magnitude
+``[2^m, 2^(m+1))`` is split into ``2^significant_bits`` linear
+sub-buckets, bounding the *relative* quantile error by
+``1 / 2^significant_bits`` regardless of where in the dynamic range a
+sample lands.  Bucket edges are pure functions of the configuration --
+no sampling, no reservoirs, no randomness -- so merging and percentile
+extraction are bit-reproducible across runs, which is what lets
+experiments export histograms next to the golden digests.
+
+Values are microseconds (floats); the default range covers 2^-4 µs
+(62.5 ns) through 2^36 µs (~19 h of simulated time), clamping outliers
+into the edge buckets rather than failing.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable, Optional
+
+MIN_EXP = -4
+MAX_EXP = 36
+
+_EDGE_CACHE: dict[int, tuple[float, ...]] = {}
+
+
+def _edges(significant_bits: int) -> tuple[float, ...]:
+    """Ascending upper edges shared by every histogram of this precision."""
+    cached = _EDGE_CACHE.get(significant_bits)
+    if cached is not None:
+        return cached
+    sub = 1 << significant_bits
+    edges = [
+        (2.0 ** exp) * (1.0 + s / sub)
+        for exp in range(MIN_EXP, MAX_EXP)
+        for s in range(sub)
+    ]
+    edges.append(2.0 ** MAX_EXP)
+    out = tuple(edges)
+    _EDGE_CACHE[significant_bits] = out
+    return out
+
+
+class FixedBucketHistogram:
+    """Counts per fixed log-linear bucket; see module docstring."""
+
+    __slots__ = ("significant_bits", "counts", "total", "min_value", "max_value")
+
+    def __init__(self, significant_bits: int = 5) -> None:
+        if not 0 <= significant_bits <= 12:
+            raise ValueError(f"significant_bits out of range: {significant_bits}")
+        self.significant_bits = significant_bits
+        # counts[i] counts values in (edge[i-1], edge[i]]; counts[0] is
+        # everything at or below the first edge.
+        self.counts: dict[int, int] = {}
+        self.total = 0
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+
+    # -- recording ---------------------------------------------------------
+
+    def record(self, value_us: float, count: int = 1) -> None:
+        """Count *value_us* (µs) *count* times; outliers clamp to the top
+        bucket."""
+        if value_us < 0:
+            raise ValueError(f"negative latency: {value_us}")
+        edges = _edges(self.significant_bits)
+        idx = bisect_left(edges, value_us)
+        if idx >= len(edges):
+            idx = len(edges) - 1  # clamp outliers into the top bucket
+        self.counts[idx] = self.counts.get(idx, 0) + count
+        self.total += count
+        if self.min_value is None or value_us < self.min_value:
+            self.min_value = value_us
+        if self.max_value is None or value_us > self.max_value:
+            self.max_value = value_us
+
+    def record_many(self, values_us: Iterable[float]) -> None:
+        """Record every sample in *values_us*."""
+        for v in values_us:
+            self.record(v)
+
+    # -- queries -----------------------------------------------------------
+
+    def bucket_bounds(self, idx: int) -> tuple[float, float]:
+        """``(lower, upper]`` bounds of bucket *idx* in µs."""
+        edges = _edges(self.significant_bits)
+        lower = 0.0 if idx == 0 else edges[idx - 1]
+        return lower, edges[idx]
+
+    def percentile(self, q: float) -> float:
+        """Approximate *q*-th percentile (0..100); relative error is
+        bounded by the sub-bucket width, ``2^-significant_bits``."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile out of range: {q}")
+        if self.total == 0:
+            raise ValueError("empty histogram")
+        if q == 0:
+            return self.min_value
+        if q == 100:
+            return self.max_value
+        target = max(1, -(-self.total * q // 100))  # ceil without floats
+        cumulative = 0
+        for idx in sorted(self.counts):
+            cumulative += self.counts[idx]
+            if cumulative >= target:
+                lower, upper = self.bucket_bounds(idx)
+                mid = (lower + upper) / 2.0
+                # The recorded extremes tighten the edge buckets.
+                if self.max_value is not None:
+                    mid = min(mid, self.max_value)
+                if self.min_value is not None:
+                    mid = max(mid, self.min_value)
+                return mid
+        raise AssertionError("cumulative walk exhausted below target")
+
+    def merge(self, other: "FixedBucketHistogram") -> None:
+        """Fold *other* into self; precisions must match (same edges)."""
+        if other.significant_bits != self.significant_bits:
+            raise ValueError(
+                "cannot merge histograms of different precision: "
+                f"{self.significant_bits} vs {other.significant_bits}"
+            )
+        for idx, count in other.counts.items():
+            self.counts[idx] = self.counts.get(idx, 0) + count
+        self.total += other.total
+        if other.min_value is not None:
+            if self.min_value is None or other.min_value < self.min_value:
+                self.min_value = other.min_value
+        if other.max_value is not None:
+            if self.max_value is None or other.max_value > self.max_value:
+                self.max_value = other.max_value
+
+    def to_dict(self) -> dict:
+        """JSON-ready export: nonzero buckets as [lower, upper, count]."""
+        return {
+            "unit": "us",
+            "significant_bits": self.significant_bits,
+            "total": self.total,
+            "min": self.min_value,
+            "max": self.max_value,
+            "buckets": [
+                [*self.bucket_bounds(idx), self.counts[idx]]
+                for idx in sorted(self.counts)
+            ],
+        }
+
+    @classmethod
+    def from_samples(
+        cls, values_us: Iterable[float], significant_bits: int = 5
+    ) -> "FixedBucketHistogram":
+        """Build a histogram from an iterable of µs samples."""
+        hist = cls(significant_bits)
+        hist.record_many(values_us)
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FixedBucketHistogram n={self.total} "
+            f"bits={self.significant_bits} "
+            f"range=[{self.min_value}, {self.max_value}]µs>"
+        )

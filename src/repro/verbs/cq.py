@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
 from repro.sim import Event
+from repro.telemetry import tracer
 from repro.verbs.enums import Opcode, WcStatus
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -67,6 +68,13 @@ class CompletionQueue:
     def push(self, wc: WorkCompletion) -> None:
         """HCA-side: deposit a completion, waking one waiter if present."""
         wc.timestamp = self.sim.now
+        if tracer.enabled:
+            rider = getattr(wc.app_object, "trace", None)
+            if rider is not None:
+                tracer.instant(
+                    "verbs.cqe", "verbs", self.sim.now, trace=rider,
+                    cq=self.name, status=wc.status.value,
+                )
         if self._waiters:
             self._waiters.pop(0).succeed(wc)
             for observer in CompletionQueue.observers:

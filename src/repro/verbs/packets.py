@@ -30,6 +30,11 @@ class IbPacket:
     #: hardware matches via PSNs; the reference is the simulation shortcut.
     wr: Any = None
 
+    @property
+    def trace(self) -> Any:
+        """Telemetry rider: the trace context of the originating WR."""
+        return self.wr.trace if self.wr is not None else None
+
 
 @dataclass(slots=True)
 class CmPacket:

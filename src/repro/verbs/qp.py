@@ -29,6 +29,7 @@ from repro.verbs.packets import (
     RDMA_READ_REQUEST_BYTES,
     IbPacket,
 )
+from repro.telemetry import tracer
 from repro.verbs.wr import RecvWR, SendWR
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -184,6 +185,12 @@ class QueuePair:
     def _requester(self, wr: SendWR, target: "QueuePair"):
         sim = self.hca.sim
         params = self.hca.params
+        span = (
+            tracer.begin("verbs.post", "verbs", sim.now,
+                         parent=wr.trace, opcode=wr.opcode.name, nbytes=wr.nbytes)
+            if tracer.enabled and wr.trace is not None
+            else None
+        )
 
         # Doorbell + optional DMA payload fetch.
         yield sim.timeout(params.post_overhead(wr.nbytes))
@@ -193,6 +200,8 @@ class QueuePair:
         yield engine
         yield sim.timeout(params.wqe_process_us)
         self.hca.tx_engine.release(engine)
+        if tracer.enabled:
+            tracer.end(span, sim.now)
 
         try:
             if wr.opcode in (Opcode.SEND, Opcode.RDMA_WRITE):
@@ -263,6 +272,12 @@ class QueuePair:
     def responder_send(self, packet: IbPacket):
         """Consume a receive WR for an inbound SEND; yields sim events."""
         sim = self.hca.sim
+        span = (
+            tracer.begin("verbs.recv", "verbs", sim.now,
+                         parent=packet.trace, nbytes=packet.length)
+            if tracer.enabled and packet.trace is not None
+            else None
+        )
         try:
             if self.state is QpState.ERROR:
                 if packet.wr is not None:
@@ -274,6 +289,8 @@ class QueuePair:
             yield from self._place_and_complete(packet, rwr)
         finally:
             self._signal_responder_done(packet)
+            if tracer.enabled:
+                tracer.end(span, sim.now)
 
     def _claim_recv_wr(self, packet: IbPacket):
         """Take a landing buffer (private queue or SRQ with RNR retries)."""

@@ -67,6 +67,9 @@ class SendWR:
     #: avoids Python serialization costs without changing wire sizes,
     #: which are always computed from the byte payload.
     app_object: Any = None
+    #: Telemetry rider: the trace context this WR works on behalf of.
+    #: Pure annotation -- never enters ``nbytes`` or any cost model.
+    trace: Any = None
     #: RC responder outcome, written by the remote side before the ACK
     #: flies back; SUCCESS until proven otherwise.
     _remote_status: WcStatus = field(default=WcStatus.SUCCESS, init=False, repr=False)

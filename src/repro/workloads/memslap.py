@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.memcached.errors import ServerDownError
 from repro.sim.trace import LatencyRecorder
+from repro.telemetry import tracer
 from repro.workloads.keys import KeyChooser, make_value
 from repro.workloads.patterns import GET_ONLY, OpPattern
 
@@ -152,8 +153,14 @@ class MemslapRunner:
         finish_times: list[float] = []
         start = sim.now
         result.started_at_us = start
+        if tracer.enabled:
+            tracer.instant(
+                "memslap.start", "client", sim.now,
+                transport=self.transport, n_clients=self.n_clients,
+            )
 
         def closed_loop(client):
+            """One client's timed loop: issue ops back to back."""
             for op in self.pattern.ops(self.n_ops_per_client):
                 key = self.keys.next_key()
                 t0 = sim.now
@@ -170,10 +177,14 @@ class MemslapRunner:
                     if not self.tolerate_failures:
                         raise
                     result.ops_failed += 1
+                    if tracer.enabled:
+                        tracer.instant("memslap.op_failed", "client", sim.now, key=key)
                     continue
                 dt = sim.now - t0
                 result.latency.record(dt)
                 (result.set_latency if op == "set" else result.get_latency).record(dt)
+            if tracer.enabled:
+                tracer.instant("memslap.client_done", "client", sim.now)
             finish_times.append(sim.now)
 
         for client in clients:

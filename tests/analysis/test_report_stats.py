@@ -62,3 +62,30 @@ def test_crossover_size():
     assert crossover_size(sizes, a, [10.0] * 4) is None
     with pytest.raises(ValueError):
         crossover_size([1], [1.0, 2.0], [1.0])
+
+
+def test_summarize_latencies_reports_p99():
+    samples = [1.0] * 99 + [100.0]
+    s = summarize_latencies(samples)
+    assert s["p95"] <= s["p99"] <= 100.0
+    assert s["p99"] > s["median"]
+
+
+def test_latency_histogram_export():
+    from repro.analysis.stats import latency_histogram
+
+    d = latency_histogram([1.0, 2.0, 400.0])
+    assert d["unit"] == "us"
+    assert sum(count for _, _, count in d["buckets"]) == 3
+    assert d == latency_histogram([1.0, 2.0, 400.0])  # deterministic
+
+
+def test_latency_recorder_histogram_bridge():
+    from repro.sim.trace import LatencyRecorder
+
+    rec = LatencyRecorder("t")
+    for v in (5.0, 7.0, 9.0):
+        rec.record(v)
+    hist = rec.histogram()
+    assert hist.total == 3
+    assert hist.percentile(50) == pytest.approx(7.0, rel=0.05)

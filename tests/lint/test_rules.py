@@ -330,3 +330,117 @@ def test_disable_all_suppresses_everything(tmp_path):
     )
     assert report.findings == []
     assert len(report.suppressed) == 1
+
+
+# -- L006: telemetry zero-cost discipline ----------------------------------------
+
+
+def test_l006_flags_unguarded_tracer_calls(tmp_path):
+    report = _lint(
+        tmp_path,
+        "src/repro/core/mod.py",
+        """
+        from repro.telemetry import tracer
+
+        def hot(sim):
+            span = tracer.begin("x", "client", sim.now)
+            tracer.end(span, sim.now)
+        """,
+    )
+    assert _rule_ids(report) == ["L006", "L006"]
+    assert "unguarded" in report.findings[0].message
+
+
+def test_l006_accepts_guarded_idioms(tmp_path):
+    report = _lint(
+        tmp_path,
+        "src/repro/core/mod.py",
+        """
+        from repro.telemetry import tracer
+
+        def hot(sim, parent):
+            span = (
+                tracer.begin("x", "client", sim.now, parent=parent)
+                if tracer.enabled and parent is not None
+                else None
+            )
+            if tracer.enabled:
+                tracer.end(span, sim.now)
+            ok = tracer.enabled and tracer.instant("e", "client", sim.now)
+            return ok
+        """,
+    )
+    assert report.findings == []
+
+
+def test_l006_guard_does_not_leak_into_nested_defs(tmp_path):
+    report = _lint(
+        tmp_path,
+        "src/repro/core/mod.py",
+        """
+        from repro.telemetry import tracer
+
+        def outer(sim):
+            if tracer.enabled:
+                def later():
+                    tracer.instant("e", "client", sim.now)
+                return later
+        """,
+    )
+    assert _rule_ids(report) == ["L006"]
+
+
+def test_l006_requires_slots_in_telemetry_package(tmp_path):
+    report = _lint(
+        tmp_path,
+        "src/repro/telemetry/mod.py",
+        """
+        class Loose:
+            def __init__(self):
+                self.a = 1
+                self.b = 2
+                self.c = 3
+        """,
+    )
+    assert _rule_ids(report) == ["L006"]
+    assert "__slots__" in report.findings[0].message
+
+
+def test_l006_telemetry_slotted_class_passes(tmp_path):
+    report = _lint(
+        tmp_path,
+        "src/repro/telemetry/mod.py",
+        """
+        class Tight:
+            __slots__ = ("a",)
+
+            def __init__(self):
+                self.a = 1
+        """,
+    )
+    assert report.findings == []
+
+
+def test_l006_ignores_tests_and_non_recording_methods(tmp_path):
+    report = _lint(
+        tmp_path,
+        "tests/test_mod.py",
+        """
+        from repro.telemetry import tracer
+
+        def test_x(sim):
+            tracer.begin("x", "client", 0.0)
+        """,
+    )
+    assert report.findings == []
+    report = _lint(
+        tmp_path,
+        "src/repro/analysis/mod.py",
+        """
+        from repro.telemetry import tracer
+
+        def collect():
+            return tracer.finished_spans()
+        """,
+    )
+    assert report.findings == []

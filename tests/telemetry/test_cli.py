@@ -1,0 +1,57 @@
+"""``repro-trace`` CLI smoke tests and export-schema assertions."""
+
+import json
+
+import pytest
+
+from repro.telemetry import validate_chrome
+from repro.telemetry.cli import build_parser, main
+
+
+def test_parser_rejects_unknown_transport():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--transport", "carrier-pigeon"])
+
+
+def test_run_prints_flame_and_breakdown(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    rc = main(
+        [
+            "run",
+            "--transport",
+            "UCR-IB",
+            "--size",
+            "512",
+            "--ops",
+            "3",
+            "-o",
+            str(out_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "client.get" in out
+    assert "█" in out  # the flamegraph rendered
+    assert "total (= e2e)" in out  # the breakdown table rendered
+
+    document = json.loads(out_path.read_text())
+    validate_chrome(document)  # ISSUE: exported JSON is schema-valid
+    phases = {e["ph"] for e in document["traceEvents"]}
+    assert "X" in phases and "M" in phases
+
+
+def test_run_bumps_even_ops_to_odd(capsys):
+    rc = main(["run", "--transport", "SDP", "--size", "64", "--ops", "2"])
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "2 -> 3" in err
+
+
+def test_view_rerenders_an_export(capsys, tmp_path):
+    out_path = tmp_path / "trace.json"
+    assert main(["run", "--size", "64", "--ops", "3", "-o", str(out_path)]) == 0
+    capsys.readouterr()  # drop the run output
+    assert main(["view", str(out_path)]) == 0
+    out = capsys.readouterr().out
+    assert "client.get" in out
+    assert "█" in out

@@ -1,0 +1,139 @@
+"""Trace-context wire propagation: one Get, one tree, every layer.
+
+The tentpole claim: a single client operation yields a single trace
+whose spans cover the client library, the transport runtime, the
+fabric, and the remote server's handler -- on the verbs path AND the
+sockets path.  These tests drive a real mini-benchmark per transport
+and assert the tree's shape.
+"""
+
+import pytest
+
+from repro.cluster.configs import CLUSTER_A
+from repro.experiments.common import build_cluster
+from repro.telemetry import spans_by_trace, tracer, tracing
+from repro.workloads.memslap import MemslapRunner
+from repro.workloads.patterns import GET_ONLY, SET_ONLY
+
+
+def _traced_get_traces(transport, pattern=GET_ONLY, n_ops=3):
+    cluster = build_cluster(CLUSTER_A)
+    runner = MemslapRunner(
+        cluster,
+        transport,
+        value_size=4096,
+        pattern=pattern,
+        n_clients=1,
+        n_ops_per_client=n_ops,
+        warmup_ops=1,
+    )
+    with tracing():
+        result = runner.run()
+        spans = tracer.finished_spans()
+        instants = list(tracer.instants)
+    op = pattern.block[0]
+    traces = [
+        t
+        for t in spans_by_trace(spans).values()
+        if any(
+            s.parent_id is None
+            and s.name == f"client.{op}"
+            and s.start_us >= result.started_at_us
+            for s in t
+        )
+    ]
+    assert len(traces) == n_ops, "every timed op must produce a root span"
+    return traces, instants
+
+
+def _names(trace):
+    return {s.name for s in trace}
+
+
+def _span(trace, name):
+    matches = [s for s in trace if s.name == name]
+    assert matches, f"no {name} span in {sorted(_names(trace))}"
+    return matches[0]
+
+
+def test_ucr_get_trace_covers_every_layer():
+    traces, instants = _traced_get_traces("UCR-IB")
+    for trace in traces:
+        names = _names(trace)
+        # client marshal, AM roundtrip, WQE post, fabric serialization,
+        # remote completion handler, store work -- the ISSUE's checklist.
+        assert {
+            "client.get",
+            "am.roundtrip",
+            "verbs.post",
+            "verbs.recv",
+            "fabric.xfer",
+            "am.deliver",
+            "server.op",
+            "store.apply",
+        } <= names
+        # Request and reply both cross the fabric.
+        assert sum(1 for s in trace if s.name == "fabric.xfer") >= 2
+        assert len({s.trace_id for s in trace}) == 1
+
+        root = _span(trace, "client.get")
+        rt = _span(trace, "am.roundtrip")
+        server_op = _span(trace, "server.op")
+        assert rt.parent_id == root.span_id
+        assert server_op.parent_id == rt.span_id
+        assert _span(trace, "store.apply").parent_id == server_op.span_id
+        # Temporal containment: the server works inside the roundtrip.
+        assert rt.start_us <= server_op.start_us
+        assert server_op.end_us <= rt.end_us
+    # CQE instants land on the traced operations.
+    cqe = [i for i in instants if i.name == "verbs.cqe"]
+    assert cqe and all(i.trace_id is not None for i in cqe)
+
+
+@pytest.mark.parametrize("transport", ["SDP", "IPoIB"])
+def test_sockets_get_trace_covers_every_layer(transport):
+    traces, _ = _traced_get_traces(transport)
+    for trace in traces:
+        names = _names(trace)
+        assert {
+            "client.get",
+            "sockets.roundtrip",
+            "sockets.tx",
+            "sockets.rx",
+            "fabric.xfer",
+            "server.op",
+            "store.apply",
+        } <= names
+        assert len({s.trace_id for s in trace}) == 1
+
+        root = _span(trace, "client.get")
+        rt = _span(trace, "sockets.roundtrip")
+        server_op = _span(trace, "server.op")
+        assert rt.parent_id == root.span_id
+        # The server picks the rider off the received bytes.
+        assert server_op.parent_id == rt.span_id
+        assert _span(trace, "store.apply").parent_id == server_op.span_id
+        # Reply-path spans hang under the server's op.
+        reply_spans = [s for s in trace if s.parent_id == server_op.span_id]
+        assert any(s.name == "sockets.tx" for s in reply_spans)
+
+
+def test_ucr_set_trace_exists_too():
+    traces, _ = _traced_get_traces("UCR-IB", pattern=SET_ONLY)
+    for trace in traces:
+        assert {"client.set", "am.roundtrip", "server.op", "store.apply"} <= _names(
+            trace
+        )
+
+
+def test_untraced_run_records_nothing():
+    tracer.disable()
+    tracer.clear()
+    cluster = build_cluster(CLUSTER_A)
+    runner = MemslapRunner(
+        cluster, "UCR-IB", value_size=64, pattern=GET_ONLY,
+        n_clients=1, n_ops_per_client=2, warmup_ops=1,
+    )
+    runner.run()
+    assert tracer.spans == []
+    assert tracer.instants == []
