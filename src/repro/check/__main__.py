@@ -1,0 +1,6 @@
+"""``python -m repro.check`` == the ``repro-check`` console script."""
+
+from repro.check.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,234 @@
+"""The ``repro-check`` CLI: model-based verification from the shell.
+
+``repro-check run`` replays one seeded workload two ways -- a
+sequential differential pass (every response compared with the oracle
+and across all transport/protocol configurations) and a concurrent
+4-client sharded pass whose recorded history goes to the
+linearizability checker -- and prints a per-configuration verdict with
+the deterministic history digest.  ``repro-check fuzz`` sweeps seeds,
+shrinks any mismatch it finds, and writes JSON repro cases;
+``repro-check shrink`` re-minimizes a previously dumped case.
+
+Exit code 0 means every check passed; 1 means a mismatch, a
+non-linearizable history, or a parser crash.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+
+def _configs_by_name() -> dict:
+    from repro.check.differential import CONFIGS
+
+    return {name: (name, transport, binary) for name, transport, binary in CONFIGS}
+
+
+def _select_configs(names: Optional[list[str]]) -> list:
+    from repro.check.differential import CONFIGS
+
+    if not names:
+        return list(CONFIGS)
+    table = _configs_by_name()
+    missing = [n for n in names if n not in table]
+    if missing:
+        raise SystemExit(
+            f"unknown config(s) {missing}; choose from {sorted(table)}"
+        )
+    return [table[n] for n in names]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    # Deferred: building clusters pulls in the whole simulator.
+    from repro.check.differential import (
+        differential_run,
+        generate_commands,
+        replay_concurrent,
+    )
+
+    configs = _select_configs(args.config)
+    failed = False
+
+    commands = generate_commands(args.seed, args.sequential_ops)
+    diff = differential_run(commands, seed=args.seed, configs=configs)
+    status = "ok" if diff.ok else "MISMATCH"
+    print(
+        f"sequential: {len(commands)} commands x {len(configs)} configs "
+        f"(seed {args.seed}): {status}"
+    )
+    if not diff.ok:
+        failed = True
+        for replay in diff.replays:
+            for index, actual, expected in replay.mismatches[:5]:
+                print(
+                    f"  {replay.config} #{index}: client {actual!r}"
+                    f" != oracle {expected!r}"
+                )
+        for a, b, index in diff.disagreements[:5]:
+            print(f"  {a} vs {b}: first disagreement at #{index}")
+
+    print(
+        f"concurrent: {args.clients} clients x {args.ops} ops over "
+        f"{args.shards} shards (seed {args.seed}"
+        + (", chaos)" if args.chaos else ")")
+    )
+    for config in configs:
+        result = replay_concurrent(
+            config,
+            seed=args.seed,
+            n_clients=args.clients,
+            n_servers=args.shards,
+            n_ops=args.ops,
+            chaos=args.chaos,
+        )
+        verdict = "linearizable" if result.ok else "NOT LINEARIZABLE"
+        print(
+            f"  {result.config:<16} {result.n_records} ops "
+            f"{verdict}  digest {result.digest[:16]}"
+        )
+        if not result.ok:
+            failed = True
+            for key, server, reason in result.check.failures[:3]:
+                print(f"    {reason}")
+    return 1 if failed else 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.check.differential import (
+        differential_run,
+        dump_mismatch,
+        fuzz_parsers,
+        generate_commands,
+        replay_sequential,
+        shrink_commands,
+    )
+
+    configs = _select_configs(args.config)
+    failures = 0
+    for seed in range(args.seed, args.seed + args.seeds):
+        commands = generate_commands(seed, args.ops)
+        diff = differential_run(
+            commands, seed=seed, configs=configs, mutation=args.mutation
+        )
+        if diff.ok:
+            print(f"seed {seed}: ok ({len(commands)} commands)")
+            continue
+        failures += 1
+        bad = next(
+            (r for r in diff.replays if not r.ok), diff.replays[0]
+        )
+        config = _configs_by_name()[bad.config]
+        print(f"seed {seed}: MISMATCH on {bad.config}; shrinking ...")
+
+        def failing(sub):
+            return not replay_sequential(
+                config, sub, seed=seed, mutation=args.mutation
+            ).ok
+
+        small = shrink_commands(commands, failing)
+        replay = replay_sequential(config, small, seed=seed, mutation=args.mutation)
+        path = dump_mismatch(
+            f"{args.out}/mismatch-seed{seed}.json",
+            seed,
+            bad.config,
+            small,
+            replay,
+            mutation=args.mutation,
+        )
+        print(f"  {len(small)}-op repro written to {path}")
+        for cmd in small:
+            print(f"    {cmd.op} {cmd.key!r} value={cmd.value!r}")
+
+    parser_failures = fuzz_parsers(args.seed, n_cases=args.parser_cases)
+    if parser_failures:
+        failures += len(parser_failures)
+        print(f"parser fuzz: {len(parser_failures)} failures")
+        for line in parser_failures[:10]:
+            print(f"  {line}")
+    else:
+        print(f"parser fuzz: {args.parser_cases} cases ok")
+    return 1 if failures else 0
+
+
+def _cmd_shrink(args: argparse.Namespace) -> int:
+    from repro.check.differential import (
+        dump_mismatch,
+        load_commands,
+        replay_sequential,
+        shrink_commands,
+    )
+
+    doc, commands = load_commands(args.repro_file)
+    config = _configs_by_name().get(doc["config"])
+    if config is None:
+        print(f"unknown config {doc['config']!r} in {args.repro_file}", file=sys.stderr)
+        return 1
+    seed, mutation = doc.get("seed", 42), doc.get("mutation")
+
+    def failing(sub):
+        return not replay_sequential(config, sub, seed=seed, mutation=mutation).ok
+
+    if not failing(commands):
+        print(f"{args.repro_file}: no longer fails ({len(commands)} commands) -- fixed?")
+        return 0
+    small = shrink_commands(commands, failing)
+    replay = replay_sequential(config, small, seed=seed, mutation=mutation)
+    out = args.output or args.repro_file.replace(".json", "") + ".min.json"
+    dump_mismatch(out, seed, doc["config"], small, replay, mutation=mutation)
+    print(f"shrunk {len(commands)} -> {len(small)} commands; wrote {out}")
+    for cmd in small:
+        print(f"  {cmd.op} {cmd.key!r} value={cmd.value!r}")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-check`` argument parser (run / fuzz / shrink)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="Model-based verification for the memcached reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="one seeded differential + linearizability pass")
+    run.add_argument("--seed", type=int, default=42)
+    run.add_argument("--ops", type=int, default=500, help="concurrent ops total")
+    run.add_argument("--sequential-ops", type=int, default=120)
+    run.add_argument("--clients", type=int, default=4)
+    run.add_argument("--shards", type=int, default=2)
+    run.add_argument("--chaos", action="store_true", help="arm a seeded fault schedule")
+    run.add_argument(
+        "--config", action="append", metavar="NAME",
+        help="restrict to a configuration (repeatable); default: all",
+    )
+    run.set_defaults(func=_cmd_run)
+
+    fuzz = sub.add_parser("fuzz", help="sweep seeds; shrink and dump mismatches")
+    fuzz.add_argument("--seed", type=int, default=1, help="first seed")
+    fuzz.add_argument("--seeds", type=int, default=10, help="number of seeds")
+    fuzz.add_argument("--ops", type=int, default=80, help="commands per seed")
+    fuzz.add_argument("--parser-cases", type=int, default=200)
+    fuzz.add_argument("--out", default=".repro-check", help="repro dump directory")
+    fuzz.add_argument(
+        "--mutation", default=None,
+        help="TEST-ONLY: inject a named store bug (see MUTATIONS)",
+    )
+    fuzz.add_argument("--config", action="append", metavar="NAME")
+    fuzz.set_defaults(func=_cmd_fuzz)
+
+    shrink = sub.add_parser("shrink", help="re-minimize a dumped repro case")
+    shrink.add_argument("repro_file")
+    shrink.add_argument("-o", "--output", default=None)
+    shrink.set_defaults(func=_cmd_shrink)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    """Console entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via repro-check
+    raise SystemExit(main())

@@ -1,0 +1,726 @@
+"""Cross-transport / cross-protocol differential replay and fuzzing.
+
+The paper's implicit claim (§5-6) is that the RDMA-enabled memcached is
+*semantically identical* to the sockets one -- only latency and
+throughput change.  This module makes that claim checkable:
+
+- :func:`generate_commands` draws a seeded command sequence (valid ops
+  with boundary keys and values at slab-class edges, integer-second
+  expiry, cas via token references);
+- :func:`replay_sequential` replays it through one (transport,
+  protocol) configuration against a live cluster, comparing every
+  response with the :class:`~repro.check.model.ModelMemcached` oracle
+  at the client's completion instant;
+- :func:`differential_run` replays the same sequence through every
+  configuration (UCR-IB plus text and binary over SDP / IPoIB /
+  10GigE-TOE) and asserts response-for-response agreement;
+- :func:`replay_concurrent` drives a multi-client sharded workload
+  (optionally under a seeded chaos schedule) with history recording on,
+  and hands the history to the linearizability checker;
+- :func:`shrink_commands` ddmin-minimizes a failing sequence;
+  :func:`dump_mismatch` writes a JSON repro case (optionally linking a
+  Chrome trace of the offending run).
+
+Expiry note: command sequences only use *integer-second* exptimes and
+sleeps while per-op latencies are microseconds, so whether an item is
+expired at any observation point is transport-independent (elapsed time
+is S + delta with delta << 1 s) -- see docs/CHECKING.md.
+
+Test-only fault injection: :data:`MUTATIONS` patches a live store with a
+named semantic bug (off-by-one incr, truncating set, lying delete) so
+the pipeline's detection and shrinking can be exercised end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from repro.check.history import CheckResult, check_history, history_digest, recorder
+from repro.check.model import ModelMemcached
+from repro.memcached.errors import (
+    ClientError,
+    ProtocolError,
+    ServerDownError,
+    ServerError,
+)
+from repro.memcached.items import ITEM_HEADER_OVERHEAD
+from repro.memcached.slabs import build_chunk_sizes
+from repro.sim.rng import RngStream
+
+#: A cas token no store ever allocates (tokens count up from 1).
+BOGUS_CAS = 2**61
+
+#: The issue's four transports; UCR's active messages are already
+#: structs, the sockets transports each speak text and binary.
+CONFIGS: tuple[tuple[str, str, bool], ...] = (
+    ("UCR-IB", "UCR-IB", False),
+    ("SDP/text", "SDP", False),
+    ("SDP/bin", "SDP", True),
+    ("IPoIB/text", "IPoIB", False),
+    ("IPoIB/bin", "IPoIB", True),
+    ("10GigE-TOE/text", "10GigE-TOE", False),
+    ("10GigE-TOE/bin", "10GigE-TOE", True),
+)
+
+
+@dataclass
+class Command:
+    """One generated operation (JSON round-trippable for repro dumps)."""
+
+    op: str
+    key: str = ""
+    value: bytes = b""
+    flags: int = 0
+    exptime: int = 0
+    delta: int = 1
+    #: cas commands name their token symbolically: 'last' (the token of
+    #: the most recent gets on this key) or 'bogus' (never valid) --
+    #: raw tokens come from a process-global counter and would not
+    #: replay.
+    token_ref: str = "last"
+    #: 'sleep' pseudo-op: advance the sim clock (integer seconds).
+    sleep_s: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "op": self.op,
+            "key": self.key,
+            "value": self.value.decode("latin-1"),
+            "flags": self.flags,
+            "exptime": self.exptime,
+            "delta": self.delta,
+            "token_ref": self.token_ref,
+            "sleep_s": self.sleep_s,
+        }
+
+    @classmethod
+    def from_json(cls, d: dict) -> "Command":
+        return cls(
+            op=d["op"],
+            key=d.get("key", ""),
+            value=d.get("value", "").encode("latin-1"),
+            flags=d.get("flags", 0),
+            exptime=d.get("exptime", 0),
+            delta=d.get("delta", 1),
+            token_ref=d.get("token_ref", "last"),
+            sleep_s=d.get("sleep_s", 0),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Command generation
+# ---------------------------------------------------------------------------
+
+#: Ops the sequential generator draws from (weights roughly memslap-ish,
+#: mutation-heavy so state actually churns).
+_SEQ_OPS = (
+    "set", "set", "set", "get", "get", "gets", "add", "replace",
+    "append", "prepend", "delete", "incr", "decr", "touch", "cas",
+    "flush_all", "sleep",
+)
+
+#: Concurrent workloads stay inside the checker's register/counter
+#: surface: no cas, no expiry, no flush (docs/CHECKING.md).
+_CONCURRENT_OPS = (
+    "set", "set", "set", "get", "get", "gets", "add", "replace",
+    "append", "prepend", "delete", "incr", "decr", "touch",
+)
+
+
+def _value_pool(rng: RngStream) -> list[bytes]:
+    """Boundary-heavy values: slab-class edges, counters, text."""
+    pool: list[bytes] = [b"", b"x", b"hello world"]
+    # Counter values including the uint64 edge (wrap/overflow checks).
+    pool += [b"0", b"1", b"41", b"18446744073709551615", b"18446744073709551616", b"007"]
+    pool += [b"not-a-number"]
+    # Values straddling the first few slab-class edges (key length is
+    # charged too; subtracting a mid-sized key keeps these near edges
+    # for most of the pool's keys).
+    for size in build_chunk_sizes()[:4]:
+        for delta in (-1, 0, 1):
+            n = size - ITEM_HEADER_OVERHEAD - 6 + delta
+            if n > 0:
+                pool.append(bytes([rng.randint(97, 123)]) * n)
+    return pool
+
+
+def _key_pool(rng: RngStream, n_keys: int) -> list[str]:
+    keys = [f"key{i}" for i in range(n_keys)]
+    keys.append("k" * 250)      # longest legal key
+    keys.append("k" * 251)      # one past the limit: CLIENT_ERROR everywhere
+    return keys
+
+
+def generate_commands(
+    seed: int,
+    n: int,
+    n_keys: int = 8,
+    concurrent: bool = False,
+    with_expiry: bool = True,
+) -> list[Command]:
+    """Draw *n* commands from a seeded stream (bit-for-bit reproducible).
+
+    With ``concurrent=True`` the sequence stays inside the
+    linearizability checker's op surface (no cas / expiry / flush) so a
+    recorded multi-client history is checkable.
+    """
+    rng = RngStream(seed, "check.generate")
+    keys = _key_pool(rng, n_keys)
+    values = _value_pool(rng)
+    ops = _CONCURRENT_OPS if concurrent else _SEQ_OPS
+    out: list[Command] = []
+    for _ in range(n):
+        op = rng.choice(ops)
+        key = rng.choice(keys)
+        if op == "sleep":
+            out.append(Command(op="sleep", sleep_s=rng.randint(1, 4)))
+            continue
+        cmd = Command(op=op, key=key)
+        if op in ("set", "add", "replace", "cas"):
+            cmd.value = rng.choice(values)
+            cmd.flags = rng.randint(0, 2**16)
+            if with_expiry and not concurrent and rng.uniform() < 0.25:
+                cmd.exptime = rng.randint(1, 5)
+        elif op in ("append", "prepend"):
+            cmd.value = rng.choice(values[:8])  # keep concats bounded
+        elif op in ("incr", "decr"):
+            cmd.delta = rng.choice((1, 2, 7, 2**32, 2**64 - 1))
+        elif op == "touch":
+            if concurrent or not with_expiry:
+                cmd.exptime = 0
+            else:
+                cmd.exptime = rng.choice((0, 1, 3))
+        elif op == "flush_all":
+            cmd.exptime = rng.choice((0, 0, 2))
+        if op == "cas":
+            cmd.token_ref = "last" if rng.uniform() < 0.8 else "bogus"
+        out.append(cmd)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Outcome normalization
+# ---------------------------------------------------------------------------
+
+
+def _normalize(result, cas_map: dict[int, int]):
+    """Fold a raw op result into a JSON-able, cas-canonical form."""
+    if isinstance(result, bytes):
+        return result.decode("latin-1")
+    if isinstance(result, tuple) and len(result) == 2:
+        value, cas = result  # a gets() hit: (value, raw cas token)
+        token = cas_map.setdefault(cas, len(cas_map))
+        return [_normalize(value, cas_map), f"cas#{token}"]
+    return result
+
+
+def _normalize_outcome(outcome, cas_map: dict[int, int]):
+    """Normalize a ('ok', result) / ('error', kind) outcome pair.
+
+    Only ``ok`` payloads are canonicalized -- error kinds are plain
+    strings and must not be fed to the cas map.
+    """
+    status, payload = outcome
+    if status != "ok":
+        return [status, payload]
+    return ["ok", _normalize(payload, cas_map)]
+
+
+def _run_client_op(client, cmd: Command, last_cas: dict[str, int]):
+    """Process helper: execute *cmd*, return a normalized-ready outcome.
+
+    The raw gets() token is stashed in *last_cas* for later cas
+    commands; outcomes are ('ok', raw_result) or ('error', kind).
+    """
+    op = cmd.op
+    try:
+        if op in ("set", "add", "replace"):
+            method = getattr(client, op)
+            result = yield from method(cmd.key, cmd.value, cmd.flags, cmd.exptime)
+        elif op in ("append", "prepend"):
+            method = getattr(client, op)
+            result = yield from method(cmd.key, cmd.value)
+        elif op == "cas":
+            token = (
+                last_cas.get(cmd.key, BOGUS_CAS)
+                if cmd.token_ref == "last"
+                else BOGUS_CAS
+            )
+            result = yield from client.cas(
+                cmd.key, cmd.value, token, cmd.flags, cmd.exptime
+            )
+        elif op == "get":
+            result = yield from client.get(cmd.key)
+        elif op == "gets":
+            result = yield from client.gets(cmd.key)
+            if result is not None:
+                last_cas[cmd.key] = result[1]
+        elif op == "delete":
+            result = yield from client.delete(cmd.key)
+        elif op in ("incr", "decr"):
+            method = getattr(client, op)
+            result = yield from method(cmd.key, cmd.delta)
+        elif op == "touch":
+            result = yield from client.touch(cmd.key, cmd.exptime)
+        elif op == "flush_all":
+            result = yield from client.flush_all(cmd.exptime)
+        else:  # pragma: no cover - generator never emits unknown ops
+            raise ValueError(f"unknown op {op!r}")
+    except ClientError:
+        return ("error", "client")
+    except ServerError:
+        return ("error", "server")
+    except ProtocolError:
+        return ("error", "protocol")
+    return ("ok", result)
+
+
+def _run_oracle_op(oracle: ModelMemcached, cmd: Command, last_cas: dict[str, int]):
+    """Execute *cmd* against the oracle; mirrors `_run_client_op`."""
+    op = cmd.op
+    try:
+        if op in ("set", "add", "replace"):
+            result = getattr(oracle, op)(cmd.key, cmd.value, cmd.flags, cmd.exptime)
+            result = result == "stored"
+        elif op in ("append", "prepend"):
+            result = getattr(oracle, op)(cmd.key, cmd.value) == "stored"
+        elif op == "cas":
+            token = (
+                last_cas.get(cmd.key, BOGUS_CAS)
+                if cmd.token_ref == "last"
+                else BOGUS_CAS
+            )
+            result = oracle.cas(cmd.key, cmd.value, token, cmd.flags, cmd.exptime)
+        elif op == "get":
+            hit = oracle.get(cmd.key)
+            result = hit.value if hit is not None else None
+        elif op == "gets":
+            hit = oracle.gets(cmd.key)
+            if hit is None:
+                result = None
+            else:
+                last_cas[cmd.key] = hit.cas
+                result = (hit.value, hit.cas)
+        elif op == "delete":
+            result = oracle.delete(cmd.key)
+        elif op in ("incr", "decr"):
+            result = getattr(oracle, op)(cmd.key, cmd.delta)
+        elif op == "touch":
+            result = oracle.touch(cmd.key, cmd.exptime)
+        elif op == "flush_all":
+            result = oracle.flush_all(cmd.exptime)
+        else:  # pragma: no cover
+            raise ValueError(f"unknown op {op!r}")
+    except ClientError:
+        return ("error", "client")
+    except ServerError:
+        return ("error", "server")
+    return ("ok", result)
+
+
+# ---------------------------------------------------------------------------
+# Test-only store mutations (fault injection for the pipeline itself)
+# ---------------------------------------------------------------------------
+
+
+def _mutate_incr_off_by_one(store) -> None:
+    orig = store.incr
+    store.incr = lambda key, delta: orig(key, delta + 1)
+
+
+def _mutate_set_truncates(store) -> None:
+    # Two entry points: plain set (sockets, zero-length UCR values) and
+    # the reserve/commit zero-copy path (UCR with a payload).
+    orig_set = store.set
+    store.set = lambda key, value, flags=0, exptime=0: orig_set(
+        key, value[:-1] if len(value) > 1 else value, flags, exptime
+    )
+    orig_commit = store.commit
+
+    def commit(item):
+        if item.value_length > 1:
+            item.value_length -= 1
+        return orig_commit(item)
+
+    store.commit = commit
+
+
+def _mutate_delete_lies(store) -> None:
+    orig = store.delete
+    store.delete = lambda key: orig(key) or True
+
+
+#: name -> patcher(store).  Applied to a live cluster's store by
+#: replay_sequential(mutation=...); TEST-ONLY, never in production paths.
+MUTATIONS: dict[str, Callable] = {
+    "incr-off-by-one": _mutate_incr_off_by_one,
+    "set-truncates": _mutate_set_truncates,
+    "delete-lies": _mutate_delete_lies,
+}
+
+
+# ---------------------------------------------------------------------------
+# Sequential replay vs the oracle
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one sequential replay."""
+
+    config: str
+    #: Normalized outcome per command, cas tokens canonicalized.
+    outcomes: list = field(default_factory=list)
+    #: (index, actual, expected) triples where client != oracle.
+    mismatches: list = field(default_factory=list)
+    trace_file: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def _build_cluster(n_client_nodes: int = 1, n_servers: int = 1, seed: int = 42):
+    # Deferred: the cluster builder imports the client, which imports
+    # repro.check.history -- importing it at module load would cycle.
+    from repro.cluster.builder import Cluster
+    from repro.cluster.configs import CLUSTER_A
+
+    return Cluster(
+        CLUSTER_A, n_client_nodes=n_client_nodes, seed=seed, n_servers=n_servers
+    )
+
+
+def replay_sequential(
+    config: tuple[str, str, bool],
+    commands: list[Command],
+    seed: int = 42,
+    mutation: Optional[str] = None,
+    trace_path: Optional[str] = None,
+) -> ReplayResult:
+    """Replay *commands* one at a time, comparing every response with
+    the oracle at the client's completion instant."""
+    name, transport, binary = config
+    cluster = _build_cluster(seed=seed)
+    cluster.start_server()
+    if mutation is not None:
+        MUTATIONS[mutation](cluster.server.store)
+    client = cluster.client(transport, binary=binary)
+    oracle = ModelMemcached(lambda: cluster.sim.now / 1e6)
+    result = ReplayResult(config=name)
+    client_cas: dict[str, int] = {}
+    oracle_cas: dict[str, int] = {}
+    client_map: dict[int, int] = {}
+    oracle_map: dict[int, int] = {}
+
+    def driver():
+        for index, cmd in enumerate(commands):
+            if cmd.op == "sleep":
+                yield cluster.sim.timeout(cmd.sleep_s * 1_000_000)
+                result.outcomes.append(["sleep", cmd.sleep_s])
+                continue
+            actual_raw = yield from _run_client_op(client, cmd, client_cas)
+            # The oracle executes at the client's completion instant: its
+            # clock reads the live simulator, so expiry agrees (integer
+            # seconds vs microsecond latencies).
+            expected_raw = _run_oracle_op(oracle, cmd, oracle_cas)
+            actual = _normalize_outcome(actual_raw, client_map)
+            expected = _normalize_outcome(expected_raw, oracle_map)
+            result.outcomes.append(actual)
+            if actual != expected:
+                result.mismatches.append((index, actual, expected))
+
+    if trace_path is not None:
+        from repro.telemetry.chrome import chrome_document, write_chrome
+        from repro.telemetry.spans import tracing
+
+        with tracing() as t:
+            cluster.sim.process(driver())
+            cluster.sim.run()
+        write_chrome(trace_path, chrome_document([(name, t.spans, t.instants)]))
+        result.trace_file = trace_path
+    else:
+        cluster.sim.process(driver())
+        cluster.sim.run()
+    return result
+
+
+@dataclass
+class DifferentialResult:
+    """Outcome of one sequence replayed across every configuration."""
+
+    replays: list[ReplayResult]
+    #: Config pairs whose outcome lists differ: (config_a, config_b, index).
+    disagreements: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.disagreements and all(r.ok for r in self.replays)
+
+
+def differential_run(
+    commands: list[Command],
+    seed: int = 42,
+    configs=CONFIGS,
+    mutation: Optional[str] = None,
+) -> DifferentialResult:
+    """Replay *commands* through every configuration; compare each with
+    the oracle and all of them with each other."""
+    replays = [
+        replay_sequential(cfg, commands, seed=seed, mutation=mutation)
+        for cfg in configs
+    ]
+    result = DifferentialResult(replays=replays)
+    baseline = replays[0]
+    for other in replays[1:]:
+        for idx, (a, b) in enumerate(zip(baseline.outcomes, other.outcomes)):
+            if a != b:
+                result.disagreements.append((baseline.config, other.config, idx))
+                break
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Concurrent replay: sharded clients, chaos, linearizability
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ConcurrentResult:
+    """Outcome of one recorded multi-client run."""
+
+    config: str
+    check: CheckResult
+    digest: str
+    n_records: int
+    chaos_log: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.check.ok
+
+
+def replay_concurrent(
+    config: tuple[str, str, bool],
+    seed: int = 42,
+    n_clients: int = 4,
+    n_servers: int = 2,
+    n_ops: int = 500,
+    n_keys: int = 8,
+    chaos: bool = False,
+) -> ConcurrentResult:
+    """Drive *n_clients* sharded clients concurrently (optionally under
+    a seeded chaos schedule), record the history, check linearizability
+    per (key, shard), and return a deterministic history digest."""
+    name, transport, binary = config
+    cluster = _build_cluster(
+        n_client_nodes=n_clients, n_servers=n_servers, seed=seed
+    )
+    cluster.start_server()
+    clients = [
+        cluster.sharded_client(transport, client_node=i, binary=binary)
+        for i in range(n_clients)
+    ]
+    per_client = n_ops // n_clients
+    streams = [
+        generate_commands(seed * 1000 + i, per_client, n_keys=n_keys, concurrent=True)
+        for i in range(n_clients)
+    ]
+
+    chaos_log: list = []
+    if chaos:
+        from repro.chaos.controller import ChaosController
+        from repro.chaos.schedule import random_schedule
+
+        schedule = random_schedule(
+            seed, cluster.server_names, n_faults=3, horizon_us=400_000.0
+        )
+        controller = ChaosController(cluster, schedule).arm()
+        chaos_log = controller.log
+
+    def driver(client, commands):
+        last_cas: dict[str, int] = {}
+        for cmd in commands:
+            try:
+                yield from _run_client_op(client, cmd, last_cas)
+            except ServerDownError:
+                # Retry budget exhausted mid-fault: recorded as lost.
+                continue
+
+    with recorder.recording():
+        for client, stream in zip(clients, streams):
+            cluster.sim.process(driver(client, stream))
+        cluster.sim.run()
+        records = list(recorder.records)
+        digest = recorder.digest()
+
+    check = check_history(records, by_server=True)
+    return ConcurrentResult(
+        config=name,
+        check=check,
+        digest=digest,
+        n_records=len(records),
+        chaos_log=chaos_log,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parser fuzzing (malformed frames)
+# ---------------------------------------------------------------------------
+
+
+def fuzz_parsers(seed: int, n_cases: int = 200) -> list[str]:
+    """Throw mutated and garbage frames at both wire parsers.
+
+    The property is crash-freedom and determinism, not agreement (the
+    framings are different by design): every feed either yields
+    messages or raises :class:`ProtocolError`; any other exception, or
+    a chunking-dependent result, is reported.  Returns failure strings
+    (empty = pass).
+    """
+    from repro.memcached import protocol, protocol_binary as binp
+
+    rng = RngStream(seed, "check.fuzz-parsers")
+    seeds_text = [
+        b"set key0 0 0 5\r\nhello\r\n",
+        b"get key0 key1\r\n",
+        b"incr key0 7\r\n",
+        b"delete key0\r\nstats\r\n",
+    ]
+    seeds_bin = [
+        binp.build_set("key0", b"hello"),
+        binp.build_get("key0"),
+        binp.build_arith("key0", 3),
+        binp.build_flush(2),
+    ]
+    failures: list[str] = []
+
+    def one_feed(parser_cls, blob: bytes, chunk: int):
+        """Feed *blob* in *chunk*-byte slices; classify the outcome."""
+        parser = parser_cls()
+        out = []
+        try:
+            for i in range(0, len(blob), chunk):
+                out.extend(parser.feed(blob[i : i + chunk]))
+        except ProtocolError:
+            return "protocol-error"
+        except Exception as exc:  # noqa: BLE001 - the property under test
+            return f"CRASH {type(exc).__name__}: {exc}"
+        return repr(out)
+
+    for case in range(n_cases):
+        base = bytearray(rng.choice(seeds_text if case % 2 else seeds_bin))
+        for _ in range(rng.randint(1, 6)):
+            mutation = rng.randint(0, 3)
+            if mutation == 0 and base:
+                base[rng.randint(0, len(base))] = rng.randint(0, 256)
+            elif mutation == 1:
+                base.extend(rng.random_bytes(rng.randint(1, 16)))
+            elif mutation == 2 and len(base) > 1:
+                del base[rng.randint(0, len(base)) :]
+        blob = bytes(base)
+        for parser_cls in (protocol.RequestParser, binp.BinaryParser):
+            whole = one_feed(parser_cls, blob, len(blob) or 1)
+            byte_wise = one_feed(parser_cls, blob, 1)
+            if whole.startswith("CRASH"):
+                failures.append(f"{parser_cls.__name__} case {case}: {whole}")
+            elif byte_wise.startswith("CRASH"):
+                failures.append(f"{parser_cls.__name__} case {case} (chunked): {byte_wise}")
+            elif whole != byte_wise and "protocol-error" not in (whole, byte_wise):
+                # Chunking must not change the parse (a parse error may
+                # fire earlier or later depending on framing; that's ok).
+                failures.append(
+                    f"{parser_cls.__name__} case {case}: chunked parse differs"
+                )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Shrinking + repro dumps
+# ---------------------------------------------------------------------------
+
+
+def shrink_commands(
+    commands: list[Command], failing: Callable[[list[Command]], bool]
+) -> list[Command]:
+    """ddmin: a minimal subsequence on which *failing* still holds.
+
+    *failing* must be deterministic (replays are).  The result is
+    1-minimal at chunk granularity: removing any single command makes
+    the failure disappear.
+    """
+    assert failing(commands), "shrink_commands needs a failing input"
+    current = list(commands)
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = current[:start] + current[start + chunk :]
+            if candidate and failing(candidate):
+                current = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def dump_mismatch(
+    path: str,
+    seed: int,
+    config_name: str,
+    commands: list[Command],
+    result: ReplayResult,
+    mutation: Optional[str] = None,
+) -> str:
+    """Write a JSON repro case; returns the path written."""
+    doc = {
+        "seed": seed,
+        "config": config_name,
+        "mutation": mutation,
+        "commands": [c.to_json() for c in commands],
+        "mismatches": [
+            {"index": i, "actual": a, "expected": e}
+            for i, a, e in result.mismatches
+        ],
+        "trace_file": result.trace_file,
+    }
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2) + "\n")
+    return str(out)
+
+
+def load_commands(path: str) -> tuple[dict, list[Command]]:
+    """Read a repro dump back: (document, commands)."""
+    doc = json.loads(Path(path).read_text())
+    return doc, [Command.from_json(c) for c in doc["commands"]]
+
+
+__all__ = [
+    "BOGUS_CAS",
+    "CONFIGS",
+    "Command",
+    "ConcurrentResult",
+    "DifferentialResult",
+    "MUTATIONS",
+    "ReplayResult",
+    "differential_run",
+    "dump_mismatch",
+    "fuzz_parsers",
+    "generate_commands",
+    "history_digest",
+    "load_commands",
+    "replay_concurrent",
+    "replay_sequential",
+    "shrink_commands",
+]

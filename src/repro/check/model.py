@@ -1,0 +1,296 @@
+"""A pure-Python reference memcached: the oracle for differential checks.
+
+:class:`ModelMemcached` implements the observable semantics of
+:class:`repro.memcached.store.ItemStore` -- the full command surface,
+flags, CAS, and exptime on the sim clock -- as plain dictionaries, with
+*idealized* memory: no LRU, no eviction, no slab accounting.  Where the
+real store's behaviour depends on memory layout in a way clients can
+observe, the model mirrors it exactly (the ``incr`` chunk-refit rule);
+where it depends on memory *pressure*, the model intentionally diverges
+and :data:`MODEL_DIVERGENCES` documents how.
+
+The model raises the same error taxonomy as the store
+(:class:`~repro.memcached.errors.ClientError` /
+:class:`~repro.memcached.errors.ServerError`) so callers can compare
+failure modes, not just values.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.memcached.errors import ClientError, ServerError
+from repro.memcached.items import ITEM_HEADER_OVERHEAD
+from repro.memcached.slabs import PAGE_BYTES, build_chunk_sizes
+from repro.memcached.store import (
+    COUNTER_LIMIT,
+    MAX_KEY_LENGTH,
+    RELATIVE_EXPTIME_LIMIT,
+)
+
+#: Where the model knowingly differs from :class:`ItemStore`.  Each entry
+#: is (name, description); ``docs/CHECKING.md`` renders this list.
+MODEL_DIVERGENCES: list[tuple[str, str]] = [
+    (
+        "no-eviction",
+        "The model never evicts: a set that would trigger LRU eviction in "
+        "the store succeeds in both but later gets may hit in the model "
+        "and miss in the store.  Differential workloads stay far below "
+        "store capacity (64 MiB default) so this path never triggers.",
+    ),
+    (
+        "no-oom",
+        "With evictions disabled (-M), the store raises SERVER_ERROR "
+        "'out of memory storing object' under pressure; the model never "
+        "does.  Only the per-item 1 MiB bound is modelled.",
+    ),
+    (
+        "no-stats",
+        "stats/stats slabs/stats items counters are not modelled; the "
+        "oracle checks data-path semantics only.",
+    ),
+    (
+        "cas-token-values",
+        "CAS tokens are allocated from a model-local counter, not the "
+        "process-global item counter, so raw token values differ from "
+        "any live store.  Comparators must canonicalize tokens by first "
+        "occurrence (repro.check.differential does).",
+    ),
+]
+
+@dataclass
+class ModelItem:
+    """Observable state of one stored key."""
+
+    value: bytes
+    flags: int
+    exptime: float  # absolute sim-seconds; 0.0 = never, -1.0 = immediate
+    cas: int
+    created_at: float
+    chunk_capacity: int = 0  # mirrors slab class, for the incr refit rule
+
+
+@dataclass
+class ModelResult:
+    """Normalized outcome of a get/gets in the model."""
+
+    value: bytes
+    flags: int
+    cas: int
+
+
+class ModelMemcached:
+    """See module docstring.
+
+    ``clock`` returns the current time in (sim-)seconds; wire it to the
+    live simulator (``lambda: sim.now / 1e6``) when checking against a
+    running cluster, or to a manual counter in unit tests.
+    """
+
+    def __init__(self, clock: Callable[[], float]) -> None:
+        self.clock = clock
+        self._items: dict[str, ModelItem] = {}
+        self._next_cas = 1
+        self._flush_before = -1.0
+        #: Ascending chunk-size table, shared with the slab allocator, so
+        #: the incr in-place-vs-restore distinction matches the store.
+        self._chunk_sizes = build_chunk_sizes()
+
+    # -- time / validation helpers ---------------------------------------------
+
+    def now_seconds(self) -> float:
+        return self.clock()
+
+    def absolute_exptime(self, exptime: float) -> float:
+        """0 = immortal, negative = already expired, <= 30 days = relative,
+        larger = an absolute unix-style timestamp (memcached's rule)."""
+        if exptime == 0:
+            return 0.0
+        if exptime < 0:
+            return -1.0
+        if exptime <= RELATIVE_EXPTIME_LIMIT:
+            return self.now_seconds() + exptime
+        return float(exptime)
+
+    @staticmethod
+    def _validate_key(key: str) -> None:
+        if not key or len(key) > MAX_KEY_LENGTH:
+            raise ClientError(f"bad key length {len(key)}")
+        if any(c in key for c in " \r\n\t\0"):
+            raise ClientError("key contains whitespace or control characters")
+
+    def _check_size(self, key: str, value: bytes) -> None:
+        if ITEM_HEADER_OVERHEAD + len(key) + len(value) > PAGE_BYTES:
+            raise ServerError("object too large for cache")
+
+    def _chunk_capacity(self, key: str, value: bytes) -> int:
+        total = ITEM_HEADER_OVERHEAD + len(key) + len(value)
+        idx = bisect.bisect_left(self._chunk_sizes, total)
+        return self._chunk_sizes[idx]
+
+    def _bump_cas(self) -> int:
+        cas = self._next_cas
+        self._next_cas += 1
+        return cas
+
+    def _live(self, key: str) -> Optional[ModelItem]:
+        item = self._items.get(key)
+        if item is None:
+            return None
+        now = self.now_seconds()
+        expired = item.exptime != 0.0 and now >= item.exptime
+        flushed = item.created_at < self._flush_before <= now
+        if expired or flushed:
+            del self._items[key]
+            return None
+        return item
+
+    def _store(self, key: str, value: bytes, flags: int, exptime: float) -> None:
+        self._check_size(key, value)
+        self._items[key] = ModelItem(
+            value=value,
+            flags=flags,
+            exptime=self.absolute_exptime(exptime),
+            cas=self._bump_cas(),
+            created_at=self.now_seconds(),
+            chunk_capacity=self._chunk_capacity(key, value),
+        )
+
+    # -- storage commands ---------------------------------------------------------
+
+    def set(self, key: str, value: bytes, flags: int = 0, exptime: float = 0) -> str:
+        """Unconditional store."""
+        self._validate_key(key)
+        self._store(key, value, flags, exptime)
+        return "stored"
+
+    def add(self, key: str, value: bytes, flags: int = 0, exptime: float = 0) -> str:
+        """Store only if the key is absent (or expired)."""
+        self._validate_key(key)
+        if self._live(key) is not None:
+            return "not_stored"
+        self._store(key, value, flags, exptime)
+        return "stored"
+
+    def replace(self, key: str, value: bytes, flags: int = 0, exptime: float = 0) -> str:
+        """Store only if the key is present and live."""
+        self._validate_key(key)
+        if self._live(key) is None:
+            return "not_stored"
+        self._store(key, value, flags, exptime)
+        return "stored"
+
+    def _concat(self, key: str, data: bytes, append: bool) -> str:
+        self._validate_key(key)
+        item = self._live(key)
+        if item is None:
+            return "not_stored"
+        combined = item.value + data if append else data + item.value
+        self._check_size(key, combined)
+        # The store re-allocates but keeps the (already absolute) exptime.
+        exptime, flags = item.exptime, item.flags
+        self._items[key] = ModelItem(
+            value=combined,
+            flags=flags,
+            exptime=exptime,
+            cas=self._bump_cas(),
+            created_at=self.now_seconds(),
+            chunk_capacity=self._chunk_capacity(key, combined),
+        )
+        return "stored"
+
+    def append(self, key: str, value: bytes) -> str:
+        return self._concat(key, value, append=True)
+
+    def prepend(self, key: str, value: bytes) -> str:
+        return self._concat(key, value, append=False)
+
+    def cas(
+        self, key: str, value: bytes, cas_token: int, flags: int = 0, exptime: float = 0
+    ) -> str:
+        """Store only if *cas_token* still matches the live item's token."""
+        self._validate_key(key)
+        item = self._live(key)
+        if item is None:
+            return "not_found"
+        if item.cas != cas_token:
+            return "exists"
+        self._store(key, value, flags, exptime)
+        return "stored"
+
+    # -- retrieval ----------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[ModelResult]:
+        """Value/flags/cas of the live item, or ``None`` on a miss."""
+        self._validate_key(key)
+        item = self._live(key)
+        if item is None:
+            return None
+        return ModelResult(value=item.value, flags=item.flags, cas=item.cas)
+
+    gets = get
+
+    # -- mutation -----------------------------------------------------------------
+
+    def delete(self, key: str) -> bool:
+        self._validate_key(key)
+        return self._live(key) is not None and self._items.pop(key, None) is not None
+
+    def incr(self, key: str, delta: int) -> Optional[int]:
+        return self._arith(key, delta)
+
+    def decr(self, key: str, delta: int) -> Optional[int]:
+        return self._arith(key, -delta)
+
+    def _arith(self, key: str, delta: int) -> Optional[int]:
+        self._validate_key(key)
+        item = self._live(key)
+        if item is None:
+            return None
+        raw = item.value
+        if not raw.isdigit() or int(raw) >= COUNTER_LIMIT:
+            raise ClientError("cannot increment or decrement non-numeric value")
+        if delta >= 0:
+            value = (int(raw) + delta) % COUNTER_LIMIT  # incr wraps, per spec
+        else:
+            value = max(0, int(raw) + delta)  # decr clamps at zero, per spec
+        new = str(value).encode()
+        if len(new) <= item.chunk_capacity - ITEM_HEADER_OVERHEAD - len(key):
+            # In-place rewrite: exptime and flags survive, cas bumps.
+            item.value = new
+            item.cas = self._bump_cas()
+        else:
+            # Chunk refit: the store does a full re-store with exptime=0,
+            # silently making the counter immortal.  Mirrored bug-for-bug.
+            flags = item.flags
+            self._items[key] = ModelItem(
+                value=new,
+                flags=flags,
+                exptime=0.0,
+                cas=self._bump_cas(),
+                created_at=self.now_seconds(),
+                chunk_capacity=self._chunk_capacity(key, new),
+            )
+        return value
+
+    def touch(self, key: str, exptime: float) -> bool:
+        """Reset the expiry of a live item without reading it."""
+        item = self._live(key)
+        if item is None:
+            return False
+        item.exptime = self.absolute_exptime(exptime)
+        return True
+
+    def flush_all(self, delay_seconds: float = 0.0) -> None:
+        self._flush_before = self.now_seconds() + delay_seconds
+
+    # -- introspection (tests) ----------------------------------------------------
+
+    def live_keys(self) -> list[str]:
+        """Keys currently visible (forces lazy expiry), sorted."""
+        return sorted(k for k in list(self._items) if self._live(k) is not None)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ModelMemcached {len(self._items)} items>"

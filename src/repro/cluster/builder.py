@@ -26,6 +26,7 @@ from repro.memcached.client import (
     UcrTransport,
     UcrUdTransport,
 )
+from repro.memcached.items import reset_cas_ids
 from repro.memcached.server import MemcachedCosts, MemcachedServer, UcrServerPort
 from repro.memcached.store import StoreConfig
 from repro.sim import Simulator
@@ -53,6 +54,7 @@ class Cluster:
         if n_servers < 1:
             raise ValueError("need at least one server node")
         reset_qpn_registry()
+        reset_cas_ids()
         self.spec = spec
         self.seed = seed
         self.sim = Simulator()

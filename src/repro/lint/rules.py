@@ -1,4 +1,4 @@
-"""The lint rules (L001-L005).
+"""The lint rules (L001-L007).
 
 Each rule is a small visitor over one module's AST.  Rules see a
 :class:`ModuleContext` (path, scope, parsed tree) and yield
@@ -421,6 +421,117 @@ class DuplicateMsgIdRule(Rule):
         return None
 
 
+class GuardScanner:
+    """Finds recording calls not guarded on ``<receiver>.enabled``.
+
+    Shared by L006 (``tracer``) and L007 (``recorder``): both singletons
+    have the same zero-cost-when-disabled contract, so both rules need
+    the same syntactic guard tracking.  A call is *guarded* when it sits
+    under an ``if`` statement, conditional expression or
+    short-circuiting ``and`` whose test reads ``<receiver>.enabled`` --
+    or after the early-exit idiom::
+
+        if not recorder.enabled:
+            return ...          # (or raise / continue)
+        recorder.invoke(...)    # guarded from here on
+
+    Guards do not cross ``def``/``lambda``/``class`` boundaries: a new
+    code object may outlive the check that surrounded its definition.
+    """
+
+    def __init__(self, receiver: str, methods: frozenset) -> None:
+        self.receiver = receiver
+        self.methods = methods
+
+    def unguarded_calls(self, tree: ast.Module) -> Iterator[ast.Call]:
+        """Yield every recording call not syntactically guarded."""
+        yield from self._scan_stmts(tree.body, guarded=False)
+
+    def _mentions_enabled(self, node: ast.AST) -> bool:
+        """True when *node* reads ``.enabled`` off this receiver."""
+        for n in ast.walk(node):
+            if not (isinstance(n, ast.Attribute) and n.attr == "enabled"):
+                continue
+            recv = n.value
+            name = recv.attr if isinstance(recv, ast.Attribute) else getattr(recv, "id", "")
+            if name == self.receiver:
+                return True
+        return False
+
+    def _is_recording_call(self, node: ast.AST) -> bool:
+        """``<receiver>.<method>(...)``-shaped call."""
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            return False
+        if node.func.attr not in self.methods:
+            return False
+        recv = node.func.value
+        name = recv.attr if isinstance(recv, ast.Attribute) else getattr(recv, "id", "")
+        return name == self.receiver
+
+    def _is_disabled_early_exit(self, stmt: ast.stmt) -> bool:
+        """``if not <receiver>.enabled: <... return/raise/continue>``."""
+        return (
+            isinstance(stmt, ast.If)
+            and isinstance(stmt.test, ast.UnaryOp)
+            and isinstance(stmt.test.op, ast.Not)
+            and self._mentions_enabled(stmt.test.operand)
+            and bool(stmt.body)
+            and isinstance(stmt.body[-1], (ast.Return, ast.Raise, ast.Continue))
+        )
+
+    def _scan_stmts(self, stmts: list, guarded: bool) -> Iterator[ast.Call]:
+        """Scan a statement list, promoting the guard after an early exit."""
+        for stmt in stmts:
+            yield from self._scan_node(stmt, guarded)
+            if not guarded and self._is_disabled_early_exit(stmt):
+                guarded = True
+
+    def _scan_node(self, node: ast.AST, guarded: bool) -> Iterator[ast.Call]:
+        """Track guardedness through ifs, conditionals and ``and`` chains."""
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            # A new code object: outer guards do not protect calls that
+            # run later (the closure may outlive the check).
+            yield from self._scan_fields(node, guarded=False)
+            return
+        if isinstance(node, ast.Lambda):
+            yield from self._scan_node(node.body, guarded=False)
+            return
+        if isinstance(node, ast.If):
+            body_guarded = guarded or self._mentions_enabled(node.test)
+            yield from self._scan_node(node.test, guarded)
+            yield from self._scan_stmts(node.body, body_guarded)
+            yield from self._scan_stmts(node.orelse, guarded)
+            return
+        if isinstance(node, ast.IfExp):
+            body_guarded = guarded or self._mentions_enabled(node.test)
+            yield from self._scan_node(node.test, guarded)
+            yield from self._scan_node(node.body, body_guarded)
+            yield from self._scan_node(node.orelse, guarded)
+            return
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+            seen_enabled = False
+            for value in node.values:
+                yield from self._scan_node(value, guarded or seen_enabled)
+                seen_enabled = seen_enabled or self._mentions_enabled(value)
+            return
+        if not guarded and self._is_recording_call(node):
+            yield node
+        yield from self._scan_fields(node, guarded)
+
+    def _scan_fields(self, node: ast.AST, guarded: bool) -> Iterator[ast.Call]:
+        """Generic recursion; statement lists keep early-exit tracking."""
+        for _field, value in ast.iter_fields(node):
+            if isinstance(value, list):
+                if value and all(isinstance(v, ast.stmt) for v in value):
+                    yield from self._scan_stmts(value, guarded)
+                else:
+                    for v in value:
+                        if isinstance(v, ast.AST):
+                            yield from self._scan_node(v, guarded)
+            elif isinstance(value, ast.AST):
+                yield from self._scan_node(value, guarded)
+
+
 class TelemetryGuardRule(Rule):
     """L006: tracing must stay zero-cost when disabled.
 
@@ -457,66 +568,93 @@ class TelemetryGuardRule(Rule):
                     f"(spans are created per instrumented event)",
                 )
             return
-        yield from self._scan(ctx, ctx.tree, guarded=False)
-
-    @staticmethod
-    def _mentions_enabled(node: ast.AST) -> bool:
-        """True when *node* reads an ``.enabled`` attribute anywhere."""
-        return any(
-            isinstance(n, ast.Attribute) and n.attr == "enabled"
-            for n in ast.walk(node)
-        )
-
-    def _is_tracer_call(self, node: ast.AST) -> bool:
-        """``tracer.begin(...)``-shaped call (any receiver named tracer)."""
-        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
-            return False
-        if node.func.attr not in self.TRACER_METHODS:
-            return False
-        recv = node.func.value
-        name = recv.attr if isinstance(recv, ast.Attribute) else getattr(recv, "id", "")
-        return name == "tracer"
-
-    def _scan(self, ctx: ModuleContext, node: ast.AST, guarded: bool) -> Iterator[Finding]:
-        """Walk children of *node* carrying the guard state."""
-        for child in ast.iter_child_nodes(node):
-            yield from self._scan_node(ctx, child, guarded)
-
-    def _scan_node(self, ctx: ModuleContext, node: ast.AST, guarded: bool) -> Iterator[Finding]:
-        """Track guardedness through ifs, conditionals and ``and`` chains."""
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
-            # A new code object: outer guards do not protect calls that
-            # run later (the closure may outlive the check).
-            yield from self._scan(ctx, node, guarded=False)
-            return
-        if isinstance(node, ast.If):
-            body_guarded = guarded or self._mentions_enabled(node.test)
-            yield from self._scan_node(ctx, node.test, guarded)
-            for stmt in node.body:
-                yield from self._scan_node(ctx, stmt, body_guarded)
-            for stmt in node.orelse:
-                yield from self._scan_node(ctx, stmt, guarded)
-            return
-        if isinstance(node, ast.IfExp):
-            body_guarded = guarded or self._mentions_enabled(node.test)
-            yield from self._scan_node(ctx, node.test, guarded)
-            yield from self._scan_node(ctx, node.body, body_guarded)
-            yield from self._scan_node(ctx, node.orelse, guarded)
-            return
-        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
-            seen_enabled = False
-            for value in node.values:
-                yield from self._scan_node(ctx, value, guarded or seen_enabled)
-                seen_enabled = seen_enabled or self._mentions_enabled(value)
-            return
-        if not guarded and self._is_tracer_call(node):
+        scanner = GuardScanner("tracer", self.TRACER_METHODS)
+        for call in scanner.unguarded_calls(ctx.tree):
             yield self.finding(
                 ctx,
-                node,
-                f"unguarded tracer.{node.func.attr}() call "
+                call,
+                f"unguarded tracer.{call.func.attr}() call "
                 f"(wrap in `if tracer.enabled`)",
             )
-        yield from self._scan(ctx, node, guarded)
+
+
+class HistoryGuardRule(Rule):
+    """L007: client op paths record history; recording is guarded.
+
+    The verification pipeline (``repro.check``) is only sound if every
+    client response path shows up in recorded histories -- a new op
+    method that skips recording silently escapes the linearizability
+    checker.  Two obligations:
+
+    - operation methods on ``*Client`` classes must thread through the
+      recorder: decorated ``@_recorded(...)``, or delegating to a
+      recorded base method (``_with_failover``) or to the recorder
+      directly;
+    - outside ``check/`` itself, calls to the recorder's recording
+      methods (``invoke``/``complete``/``fail``/``lost``) must be
+      syntactically guarded on ``recorder.enabled`` -- same zero-cost
+      contract as the tracer (L006), including the early-exit idiom
+      ``if not recorder.enabled: return ...``.
+    """
+
+    rule_id = "L007"
+    title = "client ops record history; recorder call sites guarded"
+    scopes = ("src",)
+
+    #: Client methods that are memcached operations (the recordable
+    #: surface; everything the differential/linearizability layers see).
+    OP_METHODS = frozenset(
+        {
+            "set", "add", "replace", "append", "prepend", "cas",
+            "get", "gets", "delete", "incr", "decr", "touch", "flush_all",
+        }
+    )
+    RECORDER_METHODS = frozenset({"invoke", "complete", "fail", "lost"})
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        """Check recording coverage, then guard discipline."""
+        if "check" not in ctx.path.parts:
+            # The recorder's own module calls its methods unguarded.
+            scanner = GuardScanner("recorder", self.RECORDER_METHODS)
+            for call in scanner.unguarded_calls(ctx.tree):
+                yield self.finding(
+                    ctx,
+                    call,
+                    f"unguarded recorder.{call.func.attr}() call "
+                    f"(guard on `recorder.enabled`)",
+                )
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.ClassDef) and node.name.endswith("Client")):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if stmt.name not in self.OP_METHODS:
+                    continue
+                if self._records(stmt):
+                    continue
+                yield self.finding(
+                    ctx,
+                    stmt,
+                    f"{node.name}.{stmt.name}() does not record history: "
+                    f"decorate with @_recorded(...) or delegate to a "
+                    f"recorded path (_with_failover / recorder)",
+                )
+
+    @classmethod
+    def _records(cls, fn: ast.FunctionDef) -> bool:
+        """Decorated ``@_recorded(...)``, or body touches a recorded path."""
+        for deco in fn.decorator_list:
+            target = deco.func if isinstance(deco, ast.Call) else deco
+            name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", "")
+            if name == "_recorded":
+                return True
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Attribute) and node.attr == "_with_failover":
+                return True
+            if isinstance(node, ast.Name) and node.id in ("recorder", "_with_failover"):
+                return True
+        return False
 
 
 #: Every rule, in report order.
@@ -527,4 +665,5 @@ ALL_RULES: tuple[Rule, ...] = (
     MutableDefaultRule(),
     DuplicateMsgIdRule(),
     TelemetryGuardRule(),
+    HistoryGuardRule(),
 )

@@ -20,9 +20,11 @@ Transports:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
+from repro.check.history import recorder
 from repro.core.errors import EndpointClosed, UcrTimeout
 from repro.memcached import protocol
 from repro.memcached import protocol_binary as binp
@@ -67,6 +69,58 @@ DEFAULT_TIMEOUT_US = 1_000_000.0
 def _ctx(span):
     """The TraceContext of *span*, or None when tracing is off."""
     return span.ctx if span is not None else None
+
+
+def _recorded(op: str):
+    """Wrap a blocking client operation with history recording.
+
+    Zero-cost when checking is off: the disabled path is one attribute
+    read (the same contract as the telemetry tracer; lint L007 enforces
+    the guard).  Each call records invocation and completion instants on
+    the sim clock plus a normalized outcome; ``ServerDownError`` marks
+    the operation *lost* (effect unknown), other memcached errors mark
+    it *failed* (the server answered).  Under ``ShardedClient`` failover
+    each retry attempt is its own record, against the shard it targeted.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            """Record invoke/complete/fail/lost around *fn* when enabled."""
+            if not recorder.enabled:
+                return (yield from fn(self, *args, **kwargs))
+            key = args[0] if args and isinstance(args[0], str) else None
+            rec_args = tuple(args[1:]) if key is not None else tuple(args)
+            rec = recorder.invoke(self, op, key, rec_args, self.sim.now)
+            try:
+                result = yield from fn(self, *args, **kwargs)
+            except ServerDownError:
+                recorder.lost(rec, self.sim.now, self._last_server)
+                raise
+            except ClientError:
+                recorder.fail(rec, "client", self.sim.now, self._last_server)
+                raise
+            except ServerError:
+                recorder.fail(rec, "server", self.sim.now, self._last_server)
+                raise
+            except ProtocolError:
+                recorder.fail(rec, "protocol", self.sim.now, self._last_server)
+                raise
+            recorder.complete(rec, result, self.sim.now, self._last_server)
+            return result
+
+        return wrapper
+
+    return decorate
+
+
+def _raise_ucr_error(header: "McResponse") -> None:
+    """Surface a UCR error response with the text protocol's taxonomy:
+    the server tags which side's fault it was (CLIENT_ERROR vs
+    SERVER_ERROR parity across transports)."""
+    if getattr(header, "error_kind", "server") == "client":
+        raise ClientError(header.message)
+    raise ServerError(header.message)
 
 
 # ---------------------------------------------------------------------------
@@ -227,7 +281,9 @@ class SocketsTransport:
                 break
             if isinstance(token, protocol.ValueReply):
                 out.append(token)
-            elif isinstance(token, str) and token.startswith(("CLIENT_ERROR", "SERVER_ERROR")):
+            elif isinstance(token, str) and token.startswith("CLIENT_ERROR"):
+                raise ClientError(token)
+            elif isinstance(token, str) and token.startswith("SERVER_ERROR"):
                 raise ServerError(token)
             else:
                 raise ProtocolError(f"unexpected token {token!r} in get reply")
@@ -377,7 +433,7 @@ class UcrTransport:
         assert entry is not None, "counter fired before response landed"
         header, payload = entry
         if header.status == "error":
-            raise ServerError(header.message)
+            _raise_ucr_error(header)
         return header, payload
 
     def fire(self, server: str, request: McRequest, data: bytes = b""):
@@ -475,7 +531,7 @@ class UcrUdTransport(UcrTransport):
                 self.node.host.cpu_time(self.costs.parse_ucr_us)
             )
             if header.status == "error":
-                raise ServerError(header.message)
+                _raise_ucr_error(header)
             return header, payload
         raise ServerDownError(
             f"{server}: no response after {self.max_retries + 1} attempts"
@@ -533,6 +589,9 @@ class MemcachedClient:
             # servers / remove_server), e.g. a cluster.router.HashRing.
             self.distribution = distribution
         self.ops_issued = 0
+        #: The server the most recent operation targeted (history
+        #: recording attributes each attempt to its shard).
+        self._last_server: Optional[str] = None
 
     def _pick(self, key: str):
         """Process helper: hash the key to a server (charged CPU)."""
@@ -540,7 +599,9 @@ class MemcachedClient:
             self.node.host.cpu_time(self.transport.costs.key_hash_us)
         )
         self.ops_issued += 1
-        return self.distribution.server_for(key)
+        server = self.distribution.server_for(key)
+        self._last_server = server
+        return server
 
     @property
     def _ucr(self) -> bool:
@@ -559,20 +620,24 @@ class MemcachedClient:
             return True
         if msg.status in soft:
             return False
-        if msg.status == St.NON_NUMERIC:
-            raise ClientError("non-numeric value")
+        if msg.status in (St.NON_NUMERIC, St.INVALID_ARGUMENTS):
+            # Both spell CLIENT_ERROR in the text protocol.
+            raise ClientError(f"binary status {msg.status:#06x}")
         raise ServerError(f"binary status {msg.status:#06x}")
 
     # -- storage ------------------------------------------------------------------
 
+    @_recorded("set")
     def set(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
-        return self._storage("set", key, value, flags, exptime)
+        return (yield from self._storage("set", key, value, flags, exptime))
 
+    @_recorded("add")
     def add(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
-        return self._storage("add", key, value, flags, exptime)
+        return (yield from self._storage("add", key, value, flags, exptime))
 
+    @_recorded("replace")
     def replace(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
-        return self._storage("replace", key, value, flags, exptime)
+        return (yield from self._storage("replace", key, value, flags, exptime))
 
     def _storage(self, cmd: str, key: str, value: bytes, flags: int, exptime: float):
         span = (
@@ -584,7 +649,9 @@ class MemcachedClient:
         try:
             server = yield from self._pick(key)
             if self._ucr:
-                req = McRequest(op=cmd, keys=[key], flags=flags, exptime=exptime,
+                # int(): the text protocol truncates exptime on the wire;
+                # the struct header must not smuggle extra precision.
+                req = McRequest(op=cmd, keys=[key], flags=flags, exptime=int(exptime),
                                 value_length=len(value), trace=_ctx(span))
                 header, _ = yield from self.transport.roundtrip(server, req, value)
                 return header.status == "stored"
@@ -610,11 +677,12 @@ class MemcachedClient:
             if tracer.enabled:
                 tracer.end(span, self.sim.now)
 
+    @_recorded("cas")
     def cas(self, key: str, value: bytes, cas_token: int, flags: int = 0, exptime: float = 0):
         """Returns 'stored' | 'exists' | 'not_found'."""
         server = yield from self._pick(key)
         if self._ucr:
-            req = McRequest(op="cas", keys=[key], flags=flags, exptime=exptime,
+            req = McRequest(op="cas", keys=[key], flags=flags, exptime=int(exptime),
                             cas=cas_token, value_length=len(value))
             header, _ = yield from self.transport.roundtrip(server, req, value)
             return header.status
@@ -635,12 +703,44 @@ class MemcachedClient:
         self._raise_on_error(token)
         return {"STORED": "stored", "EXISTS": "exists", "NOT_FOUND": "not_found"}[token]
 
+    @_recorded("append")
+    def append(self, key: str, value: bytes):
+        """Append to an existing value; True if the key was present."""
+        return (yield from self._concat_op("append", key, value))
+
+    @_recorded("prepend")
+    def prepend(self, key: str, value: bytes):
+        """Prepend to an existing value; True if the key was present."""
+        return (yield from self._concat_op("prepend", key, value))
+
+    def _concat_op(self, cmd: str, key: str, value: bytes):
+        server = yield from self._pick(key)
+        if self._ucr:
+            req = McRequest(op=cmd, keys=[key], value_length=len(value))
+            header, _ = yield from self.transport.roundtrip(server, req, value)
+            return header.status == "stored"
+        if self._binary:
+            msg = yield from self.transport.bin_roundtrip(
+                server, binp.build_concat(key, value, append=(cmd == "append"))
+            )
+            return self._bin_check(msg)
+        token = yield from self.transport.simple(
+            server, protocol.build_storage(cmd, key, 0, 0, value)
+        )
+        self._raise_on_error(token)
+        return token == "STORED"
+
     @staticmethod
     def _raise_bin(msg) -> None:
+        St = binp.Status
+        if msg.status in (St.NON_NUMERIC, St.INVALID_ARGUMENTS):
+            # Both spell CLIENT_ERROR in the text protocol.
+            raise ClientError(f"binary status {msg.status:#06x}")
         raise ServerError(f"binary status {msg.status:#06x}")
 
     # -- retrieval ------------------------------------------------------------------
 
+    @_recorded("get")
     def get(self, key: str):
         """Returns the value bytes, or None on miss."""
         span = (
@@ -672,6 +772,7 @@ class MemcachedClient:
             if tracer.enabled:
                 tracer.end(span, self.sim.now)
 
+    @_recorded("gets")
     def gets(self, key: str):
         """Returns (value, cas) or None."""
         server = yield from self._pick(key)
@@ -746,6 +847,7 @@ class MemcachedClient:
 
     # -- mutation -------------------------------------------------------------------
 
+    @_recorded("delete")
     def delete(self, key: str):
         """Remove *key*; True if it existed."""
         server = yield from self._pick(key)
@@ -760,11 +862,13 @@ class MemcachedClient:
         self._raise_on_error(token)
         return token == "DELETED"
 
+    @_recorded("incr")
     def incr(self, key: str, delta: int = 1):
-        return self._arith("incr", key, delta)
+        return (yield from self._arith("incr", key, delta))
 
+    @_recorded("decr")
     def decr(self, key: str, delta: int = 1):
-        return self._arith("decr", key, delta)
+        return (yield from self._arith("decr", key, delta))
 
     def _arith(self, cmd: str, key: str, delta: int):
         server = yield from self._pick(key)
@@ -787,11 +891,12 @@ class MemcachedClient:
         self._raise_on_error(token)
         return token if isinstance(token, int) else None
 
+    @_recorded("touch")
     def touch(self, key: str, exptime: float):
         """Update *key*'s expiry; True if it existed."""
         server = yield from self._pick(key)
         if self._ucr:
-            req = McRequest(op="touch", keys=[key], exptime=exptime)
+            req = McRequest(op="touch", keys=[key], exptime=int(exptime))
             header, _ = yield from self.transport.roundtrip(server, req)
             return header.status == "touched"
         if self._binary:
@@ -807,14 +912,17 @@ class MemcachedClient:
 
     # -- admin ----------------------------------------------------------------------
 
+    @_recorded("flush_all")
     def flush_all(self, delay: float = 0.0):
         """Flush every server in the pool."""
         for server in list(self.distribution.servers):
             if self._ucr:
-                req = McRequest(op="flush_all", exptime=delay, keys=["-"])
+                req = McRequest(op="flush_all", exptime=int(delay), keys=["-"])
                 yield from self.transport.roundtrip(server, req)
             elif self._binary:
-                msg = yield from self.transport.bin_roundtrip(server, binp.build_flush())
+                msg = yield from self.transport.bin_roundtrip(
+                    server, binp.build_flush(int(delay))
+                )
                 self._bin_check(msg)
             else:
                 token = yield from self.transport.simple(
@@ -936,7 +1044,6 @@ class ShardedClient(MemcachedClient):
         self._health: dict[str, _ShardHealth] = {
             name: _ShardHealth() for name in ring.servers
         }
-        self._last_server: Optional[str] = None
         #: Operations that needed at least one retry.
         self.failovers = 0
         #: Operations that exhausted the retry budget.
@@ -1026,6 +1133,15 @@ class ShardedClient(MemcachedClient):
 
     def replace(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
         return self._with_failover("replace", key, value, flags, exptime)
+
+    def append(self, key: str, value: bytes):
+        return self._with_failover("append", key, value)
+
+    def prepend(self, key: str, value: bytes):
+        return self._with_failover("prepend", key, value)
+
+    def cas(self, key: str, value: bytes, cas_token: int, flags: int = 0, exptime: float = 0):
+        return self._with_failover("cas", key, value, cas_token, flags, exptime)
 
     def get(self, key: str):
         return self._with_failover("get", key)

@@ -29,6 +29,17 @@ def next_cas_id() -> int:
     return next(_cas_ids)
 
 
+def reset_cas_ids() -> None:
+    """Restart the token counter (cluster setup, like the QPN registry).
+
+    Raw tokens ride the text wire as ASCII digits, so a counter that
+    keeps growing across simulations changes message sizes -- and with
+    them transfer times -- between otherwise identical runs.
+    """
+    global _cas_ids
+    _cas_ids = itertools.count(1)
+
+
 class Item:
     """One stored key/value pair."""
 

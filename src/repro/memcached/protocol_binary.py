@@ -111,6 +111,14 @@ class BinMessage:
             raise ProtocolError("get response extras must be 4 bytes")
         return struct.unpack("!L", self.extras)[0]
 
+    def flush_extras(self) -> int:
+        """Optional expiration (delay) of a FLUSH request; 0 if absent."""
+        if not self.extras:
+            return 0
+        if len(self.extras) != 4:
+            raise ProtocolError("flush extras must be 0 or 4 bytes")
+        return struct.unpack("!L", self.extras)[0]
+
 
 def encode(msg: BinMessage) -> bytes:
     """Serialize a message to wire bytes."""
@@ -210,6 +218,14 @@ def build_arith(
     )
 
 
+def build_concat(key: str, value: bytes, append: bool = True, opaque: int = 0) -> bytes:
+    """Serialize an APPEND/PREPEND request (no extras, per the spec)."""
+    opcode = Opcode.APPEND if append else Opcode.PREPEND
+    return encode(
+        BinMessage(MAGIC_REQUEST, opcode, key=key.encode(), value=value, opaque=opaque)
+    )
+
+
 def build_touch(key: str, exptime: int, opaque: int = 0) -> bytes:
     extras = struct.pack("!L", exptime)
     return encode(
@@ -217,8 +233,10 @@ def build_touch(key: str, exptime: int, opaque: int = 0) -> bytes:
     )
 
 
-def build_flush(opaque: int = 0) -> bytes:
-    return encode(BinMessage(MAGIC_REQUEST, Opcode.FLUSH, opaque=opaque))
+def build_flush(delay: int = 0, opaque: int = 0) -> bytes:
+    """Serialize a FLUSH; a nonzero *delay* rides the optional extras."""
+    extras = struct.pack("!L", delay) if delay else b""
+    return encode(BinMessage(MAGIC_REQUEST, Opcode.FLUSH, extras=extras, opaque=opaque))
 
 
 def build_stat(opaque: int = 0) -> bytes:

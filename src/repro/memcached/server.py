@@ -105,6 +105,10 @@ class McResponse:
     #: concatenated in the AM payload.
     values_meta: list = None
     message: str = ""
+    #: For status 'error': which side's fault ('client' | 'server'), so
+    #: the UCR path preserves the text protocol's CLIENT_ERROR vs
+    #: SERVER_ERROR distinction across the wire.
+    error_kind: str = "server"
     #: Echoed from the request (UD retransmission matching).
     request_id: int = 0
     #: Telemetry rider: the server-side span context, so reply-path spans
@@ -477,18 +481,23 @@ class MemcachedServer:
                         return binp.respond(msg, St.KEY_NOT_FOUND)
                     item = store.set(key, str(initial).encode(), 0, exptime)
                     return binp.respond_counter(msg, initial, item.cas)
-                value = (
-                    store.incr(key, delta)
-                    if msg.opcode == Op.INCREMENT
-                    else store.decr(key, delta)
-                )
+                try:
+                    value = (
+                        store.incr(key, delta)
+                        if msg.opcode == Op.INCREMENT
+                        else store.decr(key, delta)
+                    )
+                except ClientError:
+                    # Only arithmetic maps client errors to NON_NUMERIC;
+                    # everything else is INVALID_ARGUMENTS (see below).
+                    return binp.respond(msg, St.NON_NUMERIC)
                 item = store.get(key)
                 return binp.respond_counter(msg, value, item.cas if item else 0)
             if msg.opcode == Op.TOUCH:
                 ok = store.touch(key, msg.touch_extras())
                 return binp.respond(msg, St.NO_ERROR if ok else St.KEY_NOT_FOUND)
             if msg.opcode == Op.FLUSH:
-                store.flush_all()
+                store.flush_all(msg.flush_extras())
                 return binp.respond(msg)
             if msg.opcode == Op.NOOP:
                 return binp.respond(msg)
@@ -498,7 +507,10 @@ class MemcachedServer:
                 return binp.respond_stats(msg, self.stats_dict())
             return binp.respond(msg, St.UNKNOWN_COMMAND)
         except ClientError:
-            return binp.respond(msg, St.NON_NUMERIC)
+            # Bad keys and other malformed-request errors: the text
+            # protocol says CLIENT_ERROR, the binary status for the same
+            # family is INVALID_ARGUMENTS (NON_NUMERIC is arith-specific).
+            return binp.respond(msg, St.INVALID_ARGUMENTS)
         except ServerError:
             return binp.respond(msg, St.VALUE_TOO_LARGE)
 
@@ -683,7 +695,11 @@ class UcrServerPort:
                     try:
                         response, payload, location = self._apply(header, data)
                     except ClientError as exc:
-                        response, payload, location = McResponse("error", message=str(exc)), b"", None
+                        response, payload, location = (
+                            McResponse("error", message=str(exc), error_kind="client"),
+                            b"",
+                            None,
+                        )
                     except ServerError as exc:
                         response, payload, location = McResponse("error", message=str(exc)), b"", None
                 finally:
@@ -729,9 +745,9 @@ class UcrServerPort:
         op = req.op
         if op in ("set", "add", "replace"):
             item = req.reserved_item
-            if item is None:  # zero-length value: plain path
-                store.set(req.keys[0], data, req.flags, req.exptime)
-                return McResponse("stored"), b"", None
+            if item is None:  # zero-length value (no reservation): plain path
+                stored = getattr(store, op)(req.keys[0], data, req.flags, req.exptime)
+                return McResponse("stored" if stored is not None else "not_stored"), b"", None
             req.reserved_item = None
             if op != "set":
                 exists = store.get(req.keys[0]) is not None
@@ -762,6 +778,13 @@ class UcrServerPort:
                 metas.append((key, item.flags, item.value_length, item.cas))
                 blobs.append(item.value())
             return McResponse("values", values_meta=metas), b"".join(blobs), None
+        if op in ("append", "prepend"):
+            item = (
+                store.append(req.keys[0], data)
+                if op == "append"
+                else store.prepend(req.keys[0], data)
+            )
+            return McResponse("stored" if item is not None else "not_stored"), b"", None
         if op == "delete":
             ok = store.delete(req.keys[0])
             return McResponse("deleted" if ok else "not_found"), b"", None

@@ -26,6 +26,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 RELATIVE_EXPTIME_LIMIT = 60 * 60 * 24 * 30
 #: Maximum key length (bytes), per the protocol spec.
 MAX_KEY_LENGTH = 250
+#: Counters are uint64: incr wraps here, and a stored value at or above
+#: it fails safe_strtoull-style parsing (memcached's behaviour).
+COUNTER_LIMIT = 2**64
 
 
 @dataclass(frozen=True)
@@ -252,9 +255,12 @@ class ItemStore:
             setattr(self.stats, f"{counter}_misses", getattr(self.stats, f"{counter}_misses") + 1)
             return None
         raw = item.value()
-        if not raw.isdigit():
+        if not raw.isdigit() or int(raw) >= COUNTER_LIMIT:
             raise ClientError("cannot increment or decrement non-numeric value")
-        value = max(0, int(raw) + delta)  # decr clamps at zero, per spec
+        if delta >= 0:
+            value = (int(raw) + delta) % COUNTER_LIMIT  # incr wraps (uint64)
+        else:
+            value = max(0, int(raw) + delta)  # decr clamps at zero, per spec
         new = str(value).encode()
         setattr(self.stats, f"{counter}_hits", getattr(self.stats, f"{counter}_hits") + 1)
         if len(new) <= item.chunk.capacity - ITEM_HEADER_OVERHEAD - len(key):

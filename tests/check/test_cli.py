@@ -1,0 +1,96 @@
+"""The repro-check CLI: exit codes and output surfaces."""
+
+import json
+
+from repro.check.cli import build_parser, main
+
+
+def test_parser_lists_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    assert "run" in text and "fuzz" in text and "shrink" in text
+
+
+def test_run_passes_on_clean_stack(capsys):
+    code = main(
+        [
+            "run",
+            "--sequential-ops", "25",
+            "--ops", "60",
+            "--config", "UCR-IB",
+            "--config", "SDP/bin",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "linearizable" in out and "digest" in out
+    assert "MISMATCH" not in out
+
+
+def test_run_rejects_unknown_config():
+    import pytest
+
+    with pytest.raises(SystemExit):
+        main(["run", "--config", "carrier-pigeon"])
+
+
+def test_fuzz_detects_mutation_and_dumps_repro(tmp_path, capsys):
+    code = main(
+        [
+            "fuzz",
+            "--seed", "9",
+            "--seeds", "1",
+            "--ops", "60",
+            "--parser-cases", "30",
+            "--mutation", "delete-lies",
+            "--config", "UCR-IB",
+            "--out", str(tmp_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "MISMATCH" in out
+    dumps = list(tmp_path.glob("mismatch-*.json"))
+    assert len(dumps) == 1
+    doc = json.loads(dumps[0].read_text())
+    assert doc["mutation"] == "delete-lies"
+    assert 1 <= len(doc["commands"]) <= 10  # shrunk before dumping
+
+
+def test_fuzz_clean_exits_zero(tmp_path, capsys):
+    code = main(
+        [
+            "fuzz",
+            "--seed", "3",
+            "--seeds", "2",
+            "--ops", "30",
+            "--parser-cases", "30",
+            "--config", "UCR-IB",
+            "--config", "SDP/text",
+            "--out", str(tmp_path),
+        ]
+    )
+    assert code == 0
+    assert not list(tmp_path.glob("*.json"))
+
+
+def test_shrink_reminimizes_dump(tmp_path, capsys):
+    main(
+        [
+            "fuzz",
+            "--seed", "9",
+            "--seeds", "1",
+            "--ops", "80",
+            "--parser-cases", "0",
+            "--mutation", "incr-off-by-one",
+            "--config", "UCR-IB",
+            "--out", str(tmp_path),
+        ]
+    )
+    capsys.readouterr()
+    dump = next(tmp_path.glob("mismatch-*.json"))
+    code = main(["shrink", str(dump)])
+    out = capsys.readouterr().out
+    assert code == 1  # still failing (the mutation is in the dump)
+    assert "shrunk" in out
+    assert dump.with_name(dump.stem + ".min.json").exists()

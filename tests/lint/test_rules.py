@@ -444,3 +444,118 @@ def test_l006_ignores_tests_and_non_recording_methods(tmp_path):
         """,
     )
     assert report.findings == []
+
+
+# -- L007: history recording discipline ------------------------------------------
+
+
+def test_l007_flags_unguarded_recorder_calls(tmp_path):
+    report = _lint(
+        tmp_path,
+        "src/repro/core/mod.py",
+        """
+        from repro.check.history import recorder
+
+        def hot(sim):
+            r = recorder.invoke(None, "get", "k", (), sim.now)
+            recorder.complete(r, None, sim.now, "s0")
+        """,
+    )
+    assert _rule_ids(report) == ["L007", "L007"]
+    assert "unguarded recorder" in report.findings[0].message
+
+
+def test_l007_accepts_guard_and_early_exit_idioms(tmp_path):
+    report = _lint(
+        tmp_path,
+        "src/repro/core/mod.py",
+        """
+        from repro.check.history import recorder
+
+        def wrapped(fn, sim):
+            if not recorder.enabled:
+                return fn()
+            r = recorder.invoke(None, "get", "k", (), sim.now)
+            out = fn()
+            recorder.complete(r, out, sim.now, "s0")
+            return out
+
+        def other(sim):
+            if recorder.enabled:
+                recorder.fail(None, "client", sim.now, "s0")
+        """,
+    )
+    assert report.findings == []
+
+
+def test_l007_flags_unrecorded_client_op_method(tmp_path):
+    report = _lint(
+        tmp_path,
+        "src/repro/core/mod.py",
+        """
+        class FancyClient:
+            __slots__ = ()
+
+            def get(self, key):
+                yield from self._round_trip(b"get " + key.encode())
+        """,
+    )
+    assert _rule_ids(report) == ["L007"]
+    assert "does not record history" in report.findings[0].message
+
+
+def test_l007_accepts_decorated_and_delegating_ops(tmp_path):
+    report = _lint(
+        tmp_path,
+        "src/repro/core/mod.py",
+        """
+        def _recorded(op):
+            def deco(fn):
+                return fn
+            return deco
+
+        class FancyClient:
+            __slots__ = ()
+
+            @_recorded("get")
+            def get(self, key):
+                yield from self._round_trip(key)
+
+            def delete(self, key):
+                return (yield from self._with_failover("delete", key))
+
+            def helper(self, key):
+                return key  # not an op method: no obligation
+        """,
+    )
+    assert report.findings == []
+
+
+def test_l007_skips_the_check_package_itself(tmp_path):
+    report = _lint(
+        tmp_path,
+        "src/repro/check/history.py",
+        """
+        class _Recorder:
+            pass
+
+        def internal(recorder, sim):
+            recorder.invoke(None, "get", "k", (), sim.now)
+        """,
+    )
+    assert report.findings == []
+
+
+def test_l007_suppressed_inline(tmp_path):
+    report = _lint(
+        tmp_path,
+        "src/repro/core/mod.py",
+        """
+        from repro.check.history import recorder
+
+        def hot(sim):
+            recorder.lost(None, sim.now, "s0")  # repro-lint: disable=L007
+        """,
+    )
+    assert report.findings == []
+    assert len(report.suppressed) == 1
