@@ -5,7 +5,9 @@ sequential differential pass (every response compared with the oracle
 and across all transport/protocol configurations) and a concurrent
 4-client sharded pass whose recorded history goes to the
 linearizability checker -- and prints a per-configuration verdict with
-the deterministic history digest.  ``repro-check fuzz`` sweeps seeds,
+the deterministic history digest.  By default each configuration also
+runs pipelined (``--pipeline-depth`` commands in flight): a
+depth-windowed oracle replay plus a pipelined concurrent pass.  ``repro-check fuzz`` sweeps seeds,
 shrinks any mismatch it finds, and writes JSON repro cases;
 ``repro-check shrink`` re-minimizes a previously dumped case.
 
@@ -46,6 +48,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         differential_run,
         generate_commands,
         replay_concurrent,
+        replay_pipelined,
     )
 
     configs = _select_configs(args.config)
@@ -69,29 +72,49 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for a, b, index in diff.disagreements[:5]:
             print(f"  {a} vs {b}: first disagreement at #{index}")
 
+    depth = args.pipeline_depth
+    if depth > 1:
+        print(
+            f"pipelined: {len(commands)} commands x {len(configs)} configs "
+            f"(depth {depth}, seed {args.seed})"
+        )
+        for config in configs:
+            replay = replay_pipelined(config, commands, depth=depth, seed=args.seed)
+            verdict = "ok" if replay.ok else "MISMATCH"
+            print(f"  {replay.config:<22} {verdict}")
+            if not replay.ok:
+                failed = True
+                for index, actual, expected in replay.mismatches[:5]:
+                    print(
+                        f"    #{index}: client {actual!r} != oracle {expected!r}"
+                    )
+
     print(
         f"concurrent: {args.clients} clients x {args.ops} ops over "
         f"{args.shards} shards (seed {args.seed}"
         + (", chaos)" if args.chaos else ")")
     )
+    depths = [1] if depth <= 1 else [1, depth]
     for config in configs:
-        result = replay_concurrent(
-            config,
-            seed=args.seed,
-            n_clients=args.clients,
-            n_servers=args.shards,
-            n_ops=args.ops,
-            chaos=args.chaos,
-        )
-        verdict = "linearizable" if result.ok else "NOT LINEARIZABLE"
-        print(
-            f"  {result.config:<16} {result.n_records} ops "
-            f"{verdict}  digest {result.digest[:16]}"
-        )
-        if not result.ok:
-            failed = True
-            for key, server, reason in result.check.failures[:3]:
-                print(f"    {reason}")
+        for d in depths:
+            result = replay_concurrent(
+                config,
+                seed=args.seed,
+                n_clients=args.clients,
+                n_servers=args.shards,
+                n_ops=args.ops,
+                chaos=args.chaos,
+                pipeline_depth=d,
+            )
+            verdict = "linearizable" if result.ok else "NOT LINEARIZABLE"
+            print(
+                f"  {result.config:<22} {result.n_records} ops "
+                f"{verdict}  digest {result.digest[:16]}"
+            )
+            if not result.ok:
+                failed = True
+                for key, server, reason in result.check.failures[:3]:
+                    print(f"    {reason}")
     return 1 if failed else 0
 
 
@@ -198,6 +221,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--clients", type=int, default=4)
     run.add_argument("--shards", type=int, default=2)
     run.add_argument("--chaos", action="store_true", help="arm a seeded fault schedule")
+    run.add_argument(
+        "--pipeline-depth", type=int, default=4, metavar="N",
+        help="also run pipelined variants with N in flight (1 disables)",
+    )
     run.add_argument(
         "--config", action="append", metavar="NAME",
         help="restrict to a configuration (repeatable); default: all",

@@ -40,6 +40,7 @@ from typing import Callable, Optional
 
 from repro.check.history import CheckResult, check_history, history_digest, recorder
 from repro.check.model import ModelMemcached
+from repro.memcached.command import Command as IRCommand
 from repro.memcached.errors import (
     ClientError,
     ProtocolError,
@@ -448,6 +449,135 @@ def replay_sequential(
     return result
 
 
+#: Ops a pipelined replay may batch into one in-flight window.  cas is a
+#: barrier (its token resolves against the latest gets, which may sit in
+#: the same window); sleep and flush_all are barriers by nature.
+_BATCHABLE_OPS = frozenset(
+    {"set", "add", "replace", "append", "prepend", "get", "gets",
+     "delete", "incr", "decr", "touch"}
+)
+
+
+def _ir_command(cmd: Command, last_cas: dict[str, int]) -> IRCommand:
+    """Build the transport-neutral IR command for one generated op."""
+    op = cmd.op
+    if op in ("set", "add", "replace"):
+        return IRCommand(op=op, keys=[cmd.key], value=cmd.value,
+                         flags=cmd.flags, exptime=cmd.exptime)
+    if op == "cas":
+        token = (
+            last_cas.get(cmd.key, BOGUS_CAS)
+            if cmd.token_ref == "last"
+            else BOGUS_CAS
+        )
+        return IRCommand(op="cas", keys=[cmd.key], value=cmd.value,
+                         flags=cmd.flags, exptime=cmd.exptime, cas=token)
+    if op in ("append", "prepend"):
+        return IRCommand(op=op, keys=[cmd.key], value=cmd.value)
+    if op in ("incr", "decr"):
+        return IRCommand(op=op, keys=[cmd.key], delta=cmd.delta)
+    if op == "touch":
+        return IRCommand(op="touch", keys=[cmd.key], exptime=cmd.exptime)
+    # get / gets / delete
+    return IRCommand(op=op, keys=[cmd.key])
+
+
+def _pipeline_outcome(raw):
+    """Fold one client.pipeline() entry into the ('ok'/'error', x) form
+    `_run_client_op` produces for the same op."""
+    if isinstance(raw, ClientError):
+        return ("error", "client")
+    if isinstance(raw, ServerError):
+        return ("error", "server")
+    if isinstance(raw, ProtocolError):
+        return ("error", "protocol")
+    if isinstance(raw, Exception):
+        raise raw  # ServerDownError etc: the caller's policy decides
+    return ("ok", raw)
+
+
+def replay_pipelined(
+    config: tuple[str, str, bool],
+    commands: list[Command],
+    depth: int = 4,
+    seed: int = 42,
+) -> ReplayResult:
+    """Replay *commands* with up to *depth* in flight, comparing every
+    response with the oracle.
+
+    Windows batch consecutive ops from :data:`_BATCHABLE_OPS`, breaking
+    on barriers (cas / sleep / flush_all) and on a repeated key -- the
+    in-window completion order of same-key ops is transport-dependent
+    (UCR's window workers race), so only key-disjoint windows have a
+    transport-independent outcome.  The oracle executes each window's
+    ops in issue order at the window's completion instant; gets tokens
+    feed ``last_cas`` after the window, matching what a pipelining
+    application could observe.
+    """
+    name, transport, binary = config
+    cluster = _build_cluster(seed=seed)
+    cluster.start_server()
+    client = cluster.client(transport, binary=binary)
+    oracle = ModelMemcached(lambda: cluster.sim.now / 1e6)
+    result = ReplayResult(config=f"{name}/pipe{depth}")
+    client_cas: dict[str, int] = {}
+    oracle_cas: dict[str, int] = {}
+    client_map: dict[int, int] = {}
+    oracle_map: dict[int, int] = {}
+
+    def compare(cmd: Command, actual_raw) -> None:
+        """Record one outcome against the oracle's, noting mismatches."""
+        expected_raw = _run_oracle_op(oracle, cmd, oracle_cas)
+        actual = _normalize_outcome(actual_raw, client_map)
+        expected = _normalize_outcome(expected_raw, oracle_map)
+        index = len(result.outcomes)
+        result.outcomes.append(actual)
+        if actual != expected:
+            result.mismatches.append((index, actual, expected))
+
+    def run_window(window: list[Command]):
+        """Process helper: one key-disjoint batch through the pipeline."""
+        ir = [_ir_command(cmd, client_cas) for cmd in window]
+        raws = yield from client.pipeline(ir, depth)
+        for cmd, raw in zip(window, raws):
+            outcome = _pipeline_outcome(raw)
+            if cmd.op == "gets" and outcome[0] == "ok" and outcome[1] is not None:
+                client_cas[cmd.key] = outcome[1][1]
+            compare(cmd, outcome)
+
+    def driver():
+        """Window consecutive batchable ops; barriers run blocking."""
+        window: list[Command] = []
+        window_keys: set[str] = set()
+        cursor = 0
+        while cursor < len(commands):
+            cmd = commands[cursor]
+            barrier = cmd.op not in _BATCHABLE_OPS or cmd.key in window_keys
+            if window and (barrier or len(window) == depth):
+                yield from run_window(window)
+                window, window_keys = [], set()
+                continue  # re-examine cmd against the empty window
+            if cmd.op in _BATCHABLE_OPS:
+                window.append(cmd)
+                window_keys.add(cmd.key)
+                cursor += 1
+                continue
+            cursor += 1
+            if cmd.op == "sleep":
+                yield cluster.sim.timeout(cmd.sleep_s * 1_000_000)
+                result.outcomes.append(["sleep", cmd.sleep_s])
+                continue
+            # Non-batchable real op (cas / flush_all): run it blocking.
+            actual_raw = yield from _run_client_op(client, cmd, client_cas)
+            compare(cmd, actual_raw)
+        if window:
+            yield from run_window(window)
+
+    cluster.sim.process(driver())
+    cluster.sim.run()
+    return result
+
+
 @dataclass
 class DifferentialResult:
     """Outcome of one sequence replayed across every configuration."""
@@ -511,10 +641,17 @@ def replay_concurrent(
     n_ops: int = 500,
     n_keys: int = 8,
     chaos: bool = False,
+    pipeline_depth: int = 1,
 ) -> ConcurrentResult:
     """Drive *n_clients* sharded clients concurrently (optionally under
     a seeded chaos schedule), record the history, check linearizability
-    per (key, shard), and return a deterministic history digest."""
+    per (key, shard), and return a deterministic history digest.
+
+    With *pipeline_depth* > 1 each client issues windows of that many
+    commands through ``client.pipeline`` instead of blocking per op;
+    every command is still individually recorded, so the checker sees
+    the same op surface with wider (batch-granular) intervals.
+    """
     name, transport, binary = config
     cluster = _build_cluster(
         n_client_nodes=n_clients, n_servers=n_servers, seed=seed
@@ -550,16 +687,27 @@ def replay_concurrent(
                 # Retry budget exhausted mid-fault: recorded as lost.
                 continue
 
+    def pipelined_driver(client, commands):
+        # The concurrent op surface has no cas, so every op is
+        # batchable; pipeline() records each command and folds lost ops
+        # into per-entry outcomes instead of raising.
+        last_cas: dict[str, int] = {}
+        for start in range(0, len(commands), pipeline_depth):
+            window = commands[start : start + pipeline_depth]
+            ir = [_ir_command(cmd, last_cas) for cmd in window]
+            yield from client.pipeline(ir, pipeline_depth)
+
+    drive = driver if pipeline_depth <= 1 else pipelined_driver
     with recorder.recording():
         for client, stream in zip(clients, streams):
-            cluster.sim.process(driver(client, stream))
+            cluster.sim.process(drive(client, stream))
         cluster.sim.run()
         records = list(recorder.records)
         digest = recorder.digest()
 
     check = check_history(records, by_server=True)
     return ConcurrentResult(
-        config=name,
+        config=name if pipeline_depth <= 1 else f"{name}/pipe{pipeline_depth}",
         check=check,
         digest=digest,
         n_records=len(records),
@@ -721,6 +869,7 @@ __all__ = [
     "history_digest",
     "load_commands",
     "replay_concurrent",
+    "replay_pipelined",
     "replay_sequential",
     "shrink_commands",
 ]

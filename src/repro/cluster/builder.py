@@ -162,6 +162,7 @@ class Cluster:
         distribution: str = "modula",
         timeout_us: Optional[float] = None,
         binary: bool = False,
+        pipeline_depth: int = 1,
     ) -> MemcachedClient:
         """A memcached client on ``client<client_node>`` using *transport*.
 
@@ -170,7 +171,8 @@ class Cluster:
         selects the binary wire protocol on sockets transports
         (libmemcached's BINARY_PROTOCOL behavior; ignored for UCR, whose
         active messages are already structs).  *timeout_us* defaults to
-        the spec's ``client_timeout_us``.
+        the spec's ``client_timeout_us``.  *pipeline_depth* sets the
+        client's default in-flight window for batched operations.
         """
         if not self.servers:
             raise RuntimeError("start_server() first")
@@ -210,7 +212,12 @@ class Cluster:
                 f"unknown transport {transport!r}; cluster {self.spec.name} has "
                 f"{self.spec.transports}"
             )
-        return MemcachedClient(t, list(self.server_names), distribution=distribution)
+        return MemcachedClient(
+            t,
+            list(self.server_names),
+            distribution=distribution,
+            pipeline_depth=pipeline_depth,
+        )
 
     def sharded_client(
         self,
@@ -221,6 +228,7 @@ class Cluster:
         vnodes: int = DEFAULT_VNODES,
         policy: FailoverPolicy = FailoverPolicy(),
         binary: bool = False,
+        pipeline_depth: int = 1,
     ) -> ShardedClient:
         """A failure-aware client routing over a consistent-hash ring.
 
@@ -237,7 +245,9 @@ class Cluster:
             binary=binary,
         )
         ring = HashRing(self.server_names, vnodes=vnodes)
-        return ShardedClient(base.transport, ring, policy=policy)
+        return ShardedClient(
+            base.transport, ring, policy=policy, pipeline_depth=pipeline_depth
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

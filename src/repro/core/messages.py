@@ -61,6 +61,11 @@ class AmWire:
     #: fixed header's padding, and keeping it out of the cost model is
     #: what makes tracing digest-neutral.
     trace: Any = None
+    #: Process-unique message sequence number.  This is what lets any
+    #: number of AMs be in flight per endpoint: pipelined memcached
+    #: requests each carry their own seq (echoed via the response's
+    #: ``request_id``), so replies route back by id rather than by
+    #: arrival order.
     seq: int = field(default_factory=lambda: next(_am_seq))
 
     @property

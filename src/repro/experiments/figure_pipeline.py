@@ -1,0 +1,93 @@
+"""Pipelining depth sweep: TPS vs in-flight window per transport.
+
+Not a figure from the paper: the paper's benchmark is a closed loop
+(one outstanding operation per client).  This experiment measures what
+the command-IR pipelining layer buys on top -- each client keeps a
+window of *depth* commands in flight on one connection (opaque-matched
+on the binary-capable paths, in-order on text, request-id-matched on
+UCR active messages) and we sweep the depth.
+
+The shape claim: round-trip latency dominates a closed loop on every
+transport, so amortizing it over a window must lift throughput
+substantially (>= 1.5x by depth 8) on both the RDMA path (UCR-IB) and
+the fastest sockets path (10GigE-TOE).  Depth 1 goes through the
+unchanged blocking loop, pinning this experiment to the same baseline
+the other figures measure.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import FigureSeries
+from repro.cluster.configs import CLUSTER_A
+from repro.experiments.common import ExperimentReport, build_cluster
+from repro.workloads.memslap import MemslapRunner
+from repro.workloads.patterns import GET_ONLY
+
+#: The RDMA path and the best non-IB sockets path.
+TRANSPORTS = ["UCR-IB", "10GigE-TOE"]
+#: In-flight window sizes (1 = the classic closed loop).
+DEPTHS = [1, 2, 4, 8, 16]
+VALUE_SIZE = 64
+
+
+def _depth_table(series: list[FigureSeries]) -> str:
+    """Rows: pipeline depth; columns: per-transport thousands of TPS."""
+    title = f"{VALUE_SIZE}B Get: aggregate TPS vs pipeline depth"
+    lines = [title, "=" * len(title)]
+    lines.append(f"{'depth':>8} " + "".join(f"{s.label:>14}" for s in series))
+    for depth in DEPTHS:
+        row = f"{depth:>8} "
+        for s in series:
+            row += f"{s.value_at(depth) / 1000.0:>12.0f}K "
+        lines.append(row)
+    lines.append("(thousands of transactions per second, higher is better)")
+    return "\n".join(lines)
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Reproduce the pipelining sweep; see module docstring."""
+    n_ops = 64 if fast else 400
+    report = ExperimentReport(
+        figure="pipeline",
+        description=f"{VALUE_SIZE}B Get TPS vs in-flight window "
+        "(single client, one connection)",
+    )
+
+    series: list[FigureSeries] = []
+    for transport in TRANSPORTS:
+        s = FigureSeries(label=transport)
+        for depth in DEPTHS:
+            # A fresh cluster per point: depth must be the only variable
+            # (no warm caches or connection state leaking across points).
+            cluster = build_cluster(CLUSTER_A)
+            runner = MemslapRunner(
+                cluster,
+                transport,
+                value_size=VALUE_SIZE,
+                pattern=GET_ONLY,
+                n_clients=1,
+                n_ops_per_client=n_ops,
+                pipeline_depth=depth,
+            )
+            result = runner.run()
+            report.raw.append(result)
+            s.add(depth, result.tps)
+        series.append(s)
+
+    for s in series:
+        speedup = s.value_at(8) / s.value_at(1)
+        report.check(
+            f"{s.label}: depth-8 pipelining >= 1.5x depth-1 TPS",
+            speedup >= 1.5,
+            f"{speedup:.2f}x ({s.value_at(1) / 1000.0:.0f}K -> "
+            f"{s.value_at(8) / 1000.0:.0f}K)",
+        )
+        report.check(
+            f"{s.label}: TPS does not regress from depth 8 to 16",
+            s.value_at(16) >= 0.9 * s.value_at(8),
+            f"{s.value_at(16) / 1000.0:.0f}K vs {s.value_at(8) / 1000.0:.0f}K",
+        )
+
+    report.panels["tps_vs_depth"] = series
+    report.tables.append(_depth_table(series))
+    return report

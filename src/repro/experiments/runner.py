@@ -15,7 +15,15 @@ import sys
 import time
 from typing import Callable
 
-from repro.experiments import extensions, figure3, figure4, figure5, figure6, figure_breakdown
+from repro.experiments import (
+    extensions,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure_breakdown,
+    figure_pipeline,
+)
 from repro.experiments.common import ExperimentReport
 
 FIGURES: dict[str, Callable[[bool], ExperimentReport]] = {
@@ -25,6 +33,7 @@ FIGURES: dict[str, Callable[[bool], ExperimentReport]] = {
     "6": figure6.run,
     "6s": figure6.run_sharded,
     "breakdown": figure_breakdown.run,
+    "pipeline": figure_pipeline.run,
     "ext": extensions.run,
 }
 

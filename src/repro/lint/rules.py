@@ -606,7 +606,8 @@ class HistoryGuardRule(Rule):
     OP_METHODS = frozenset(
         {
             "set", "add", "replace", "append", "prepend", "cas",
-            "get", "gets", "delete", "incr", "decr", "touch", "flush_all",
+            "get", "gets", "get_multi", "delete", "incr", "decr", "touch",
+            "flush_all",
         }
     )
     RECORDER_METHODS = frozenset({"invoke", "complete", "fail", "lost"})

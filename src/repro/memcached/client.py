@@ -5,9 +5,16 @@ a client owns a server pool, distributes keys via modula or ketama
 hashing, and exposes blocking operations.  All operations are process
 helpers (``yield from client.get(...)``).
 
+Every operation builds one transport-neutral
+:class:`~repro.memcached.command.Command` and hands it to the
+transport's ``execute``; wire formats live exclusively in the codec
+modules (text/binary: :mod:`repro.memcached.protocol` /
+:mod:`repro.memcached.protocol_binary`, selected by the sockets
+transport; UCR struct: :mod:`repro.memcached.protocol_ucr`).
+
 Transports:
 
-- :class:`SocketsTransport` -- text protocol over any
+- :class:`SocketsTransport` -- text or binary protocol over any
   :class:`~repro.sockets.stack.SocketStack` (IPoIB / SDP / TOE / TCP);
   the ``MEMCACHED_BEHAVIOR_TCP_NODELAY`` the paper sets is implicit (our
   stacks never delay small segments).
@@ -16,6 +23,12 @@ Transports:
   counter, and the client blocks on it **with a timeout**, taking
   corrective action (declaring the server dead) when it trips -- the
   paper's §IV-A failure model.
+
+Both transports also implement ``execute_many``: a pipelined window of
+up to *depth* commands in flight per connection, with per-wire-format
+reply matching (in-order for text, opaque for binary, request-id/seq
+for UCR AMs).  :meth:`MemcachedClient.pipeline` is the batched client
+API on top.
 """
 
 from __future__ import annotations
@@ -28,6 +41,8 @@ from repro.check.history import recorder
 from repro.core.errors import EndpointClosed, UcrTimeout
 from repro.memcached import protocol
 from repro.memcached import protocol_binary as binp
+from repro.memcached import protocol_ucr as ucrp
+from repro.memcached.command import Command, Reply
 from repro.memcached.errors import (
     ClientError,
     ProtocolError,
@@ -35,7 +50,7 @@ from repro.memcached.errors import (
     ServerError,
 )
 from repro.memcached.hashing import KetamaDistribution, ModulaDistribution
-from repro.memcached.server import (
+from repro.memcached.protocol_ucr import (
     MC_REQUEST_HEADER_BYTES,
     MSG_MC_REQUEST,
     MSG_MC_RESPONSE,
@@ -64,6 +79,16 @@ class ClientCosts:
 
 
 DEFAULT_TIMEOUT_US = 1_000_000.0
+
+#: Sentinel for pipeline slots whose reply has not landed yet.
+_PENDING = object()
+
+#: Exception class -> history-record failure kind.
+_ERROR_KIND = {
+    ClientError: "client",
+    ServerError: "server",
+    ProtocolError: "protocol",
+}
 
 
 def _ctx(span):
@@ -114,13 +139,64 @@ def _recorded(op: str):
     return decorate
 
 
-def _raise_ucr_error(header: "McResponse") -> None:
-    """Surface a UCR error response with the text protocol's taxonomy:
-    the server tags which side's fault it was (CLIENT_ERROR vs
-    SERVER_ERROR parity across transports)."""
-    if getattr(header, "error_kind", "server") == "client":
-        raise ClientError(header.message)
-    raise ServerError(header.message)
+def _raise_reply_error(reply: Reply) -> None:
+    """Surface an error reply with the text protocol's taxonomy (every
+    wire format preserves the CLIENT_ERROR vs SERVER_ERROR distinction;
+    'protocol' marks a rejected/unparseable exchange)."""
+    if reply.status != "error":
+        return
+    if reply.error_kind == "client":
+        raise ClientError(reply.message)
+    if reply.error_kind == "protocol":
+        raise ProtocolError(reply.message)
+    raise ServerError(reply.message)
+
+
+def _interpret(cmd: Command, reply: Reply):
+    """Map a reply onto the blocking API's return value (raising for
+    error replies).  One interpretation for all transports -- the codecs
+    already normalized the wire differences into the IR."""
+    _raise_reply_error(reply)
+    op = cmd.op
+    if op in ("set", "add", "replace", "append", "prepend"):
+        return reply.status == "stored"
+    if op == "cas":
+        return reply.status
+    if op == "get":
+        if len(cmd.keys) > 1:
+            return {key: data for key, _flags, data, _cas in reply.values}
+        return reply.values[0][2] if reply.values else None
+    if op == "gets":
+        if not reply.values:
+            return None
+        _key, _flags, data, cas = reply.values[0]
+        return data, cas
+    if op == "delete":
+        return reply.status == "deleted"
+    if op in ("incr", "decr"):
+        return reply.number if reply.status == "number" else None
+    if op == "touch":
+        return reply.status == "touched"
+    if op == "stats":
+        return dict(reply.stats or {})
+    if op == "version":
+        return reply.message
+    return None  # flush_all / noop acknowledgements
+
+
+def _record_args(cmd: Command) -> tuple:
+    """The args tuple a direct method call would have recorded (the
+    history checker reads value/delta/exptime positionally)."""
+    op = cmd.op
+    if op in ("set", "add", "replace", "append", "prepend"):
+        return (cmd.value,)
+    if op == "cas":
+        return (cmd.value, cmd.cas)
+    if op in ("incr", "decr"):
+        return (cmd.delta,)
+    if op == "touch":
+        return (cmd.exptime,)
+    return ()
 
 
 # ---------------------------------------------------------------------------
@@ -162,7 +238,7 @@ class _SocketConn:
 
 
 class SocketsTransport:
-    """Client side of the text protocol over a socket stack."""
+    """Client side of the text/binary protocols over a socket stack."""
 
     def __init__(
         self,
@@ -181,6 +257,12 @@ class SocketsTransport:
         #: Speak the binary protocol instead of ASCII (libmemcached's
         #: MEMCACHED_BEHAVIOR_BINARY_PROTOCOL).
         self.binary = binary
+        #: The one codec module this connection's wire format uses.
+        self._codec = binp if binary else protocol
+        #: The binary fixed-offset encode/decode is cheaper than text
+        #: formatting/walking -- same constants as the UCR struct path.
+        self._build_us = costs.build_ucr_us if binary else costs.build_text_us
+        self._parse_us = costs.parse_ucr_us if binary else costs.parse_text_us
         self._conns: dict[str, _SocketConn] = {}
 
     #: One connection per server: parallel per-server fan-out is safe.
@@ -201,99 +283,97 @@ class SocketsTransport:
             yield from c.connect()
         return c
 
-    # binary round trips --------------------------------------------------------
+    # -- the command path -------------------------------------------------------
 
-    def bin_roundtrip(self, server: str, payload: bytes, trace=None):
-        """Send one binary request; return its BinMessage response."""
-        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_ucr_us))
+    def execute(self, server: str, cmd: Command, trace=None):
+        """Process helper: one command, one reply."""
+        yield from self.node.cpu_run(self.node.host.cpu_time(self._build_us))
         span = (
             tracer.begin("sockets.roundtrip", "sockets", self.sim.now,
-                         parent=trace, server=server)
+                         parent=trace, server=server, op=cmd.op)
             if tracer.enabled and trace is not None
             else None
         )
         try:
             c = yield from self.conn(server)
-            yield from c.send(payload, trace=_ctx(span))
-            msg = yield from c.next_token()
+            yield from c.send(self._codec.encode_command(cmd), trace=_ctx(span))
+            assembler = self._codec.ReplyAssembler(cmd)
+            while not assembler.feed((yield from c.next_token())):
+                pass
         finally:
             if tracer.enabled:
                 tracer.end(span, self.sim.now)
-        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.parse_ucr_us))
-        return msg
+        yield from self.node.cpu_run(self.node.host.cpu_time(self._parse_us))
+        return assembler.reply
 
-    def bin_stats(self, server: str):
-        """STAT: collect responses until the empty terminator."""
-        c = yield from self.conn(server)
-        yield from c.send(binp.build_stat())
-        stats = {}
-        while True:
-            msg = yield from c.next_token()
-            if not msg.key:
-                return stats
-            stats[msg.key.decode()] = msg.value.decode()
+    def execute_many(self, server: str, commands: list, window: int = 1, trace=None):
+        """Process helper: issue *commands* with up to *window* in flight.
 
-    # one round trip ----------------------------------------------------------
-
-    def simple(self, server: str, payload: bytes, trace=None):
-        """Send; return the first reply token."""
-        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_text_us))
+        Returns one entry per command, in order: its :class:`Reply`, or
+        the exception that felled it (a dead connection reports
+        ``ServerDownError`` for every command still incomplete).  Reply
+        matching follows the codec's declared policy: in submission
+        order for text, by opaque (the slot index) for binary.
+        """
+        if window <= 1:
+            results = []
+            for cmd in commands:
+                try:
+                    results.append((yield from self.execute(server, cmd, trace=trace)))
+                except (ServerDownError, ClientError, ServerError, ProtocolError) as exc:
+                    results.append(exc)
+            return results
+        codec = self._codec
+        results: list = [_PENDING] * len(commands)
+        pending: list[int] = []  # slots awaiting completion, oldest first
+        assemblers: dict = {}
         span = (
-            tracer.begin("sockets.roundtrip", "sockets", self.sim.now,
-                         parent=trace, server=server)
+            tracer.begin("sockets.pipeline", "sockets", self.sim.now,
+                         parent=trace, server=server, depth=window)
             if tracer.enabled and trace is not None
             else None
         )
         try:
             c = yield from self.conn(server)
-            yield from c.send(payload, trace=_ctx(span))
-            token = yield from c.next_token()
+            sent = done = 0
+            while done < len(commands):
+                while sent < len(commands) and len(pending) < window:
+                    i = sent
+                    sent += 1
+                    yield from self.node.cpu_run(
+                        self.node.host.cpu_time(self._build_us)
+                    )
+                    assemblers[i] = codec.ReplyAssembler(commands[i])
+                    pending.append(i)
+                    yield from c.send(
+                        codec.encode_command(commands[i], opaque=i), trace=_ctx(span)
+                    )
+                token = yield from c.next_token()
+                i = pending[0] if codec.IN_ORDER_REPLIES else token.opaque
+                try:
+                    complete = assemblers[i].feed(token)
+                except ProtocolError as exc:
+                    # Stream desync: nothing past this token can be
+                    # matched to a command; fail everything unfinished.
+                    for j in range(len(commands)):
+                        if results[j] is _PENDING:
+                            results[j] = exc
+                    return results
+                if complete:
+                    pending.remove(i)
+                    done += 1
+                    results[i] = assemblers.pop(i).reply
+                    yield from self.node.cpu_run(
+                        self.node.host.cpu_time(self._parse_us)
+                    )
+        except ServerDownError as exc:
+            for j in range(len(commands)):
+                if results[j] is _PENDING:
+                    results[j] = exc
         finally:
             if tracer.enabled:
                 tracer.end(span, self.sim.now)
-        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.parse_text_us))
-        return token
-
-    def values(self, server: str, payload: bytes, trace=None):
-        """Send; collect ValueReply tokens until END."""
-        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_text_us))
-        span = (
-            tracer.begin("sockets.roundtrip", "sockets", self.sim.now,
-                         parent=trace, server=server)
-            if tracer.enabled and trace is not None
-            else None
-        )
-        try:
-            out = yield from self._collect_values(server, payload, span)
-        finally:
-            if tracer.enabled:
-                tracer.end(span, self.sim.now)
-        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.parse_text_us))
-        return out
-
-    def _collect_values(self, server: str, payload: bytes, span=None):
-        c = yield from self.conn(server)
-        yield from c.send(payload, trace=_ctx(span))
-        out = []
-        while True:
-            token = yield from c.next_token()
-            if token == "END":
-                break
-            if isinstance(token, protocol.ValueReply):
-                out.append(token)
-            elif isinstance(token, str) and token.startswith("CLIENT_ERROR"):
-                raise ClientError(token)
-            elif isinstance(token, str) and token.startswith("SERVER_ERROR"):
-                raise ServerError(token)
-            else:
-                raise ProtocolError(f"unexpected token {token!r} in get reply")
-        return out
-
-    def fire(self, server: str, payload: bytes, trace=None):
-        """Send with no reply expected (noreply)."""
-        yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_text_us))
-        c = yield from self.conn(server)
-        yield from c.send(payload, trace=trace)
+        return results
 
 
 # ---------------------------------------------------------------------------
@@ -319,8 +399,8 @@ class UcrTransport:
         self.costs = costs
         self.timeout_us = timeout_us
         #: Per-client response counter ("counter C" of paper §V-B/C);
-        #: concurrent requests (parallel mget) check out extra counters
-        #: from a small pool.
+        #: concurrent requests (parallel mget, pipelined windows) check
+        #: out extra counters from a small pool.
         self.counter = self.runtime.create_counter("mc-client")
         self._counter_pool: list = []
         self._endpoints: dict[str, "object"] = {}
@@ -381,11 +461,66 @@ class UcrTransport:
     def _deliver_response(self, header: McResponse, data: bytes) -> None:
         self._pending[header.request_id] = (header, data)
 
+    # -- the command path -------------------------------------------------------
+
+    def execute(self, server: str, cmd: Command, trace=None):
+        """Process helper: one command, one reply."""
+        request, data = ucrp.command_to_request(cmd, trace)
+        header, payload = yield from self.roundtrip(server, request, data)
+        return ucrp.response_to_reply(cmd, header, payload)
+
+    def execute_many(self, server: str, commands: list, window: int = 1, trace=None):
+        """Process helper: issue *commands* with up to *window* in flight.
+
+        A pool of ``window`` worker processes pulls commands in order,
+        so up to ``window`` AMs are outstanding on the endpoint at once;
+        responses route back by echoed request id (the client face of
+        the AM layer's per-message seq matching).  Returns one entry per
+        command: its :class:`Reply` or the exception that felled it.
+        """
+        results: list = [_PENDING] * len(commands)
+        if window <= 1 or len(commands) == 1:
+            for i, cmd in enumerate(commands):
+                try:
+                    results[i] = yield from self.execute(server, cmd, trace=trace)
+                except (ServerDownError, ClientError, ServerError, ProtocolError) as exc:
+                    results[i] = exc
+            return results
+        try:
+            # Establish the endpoint once, before fanning out: concurrent
+            # first-contact connects would race and duplicate endpoints.
+            yield from self.endpoint(server)
+        except ServerDownError as exc:
+            return [exc] * len(commands)
+        cursor = {"next": 0}
+
+        def worker():
+            while True:
+                i = cursor["next"]
+                if i >= len(commands):
+                    return
+                cursor["next"] = i + 1
+                try:
+                    results[i] = yield from self.execute(
+                        server, commands[i], trace=trace
+                    )
+                except (ServerDownError, ClientError, ServerError, ProtocolError) as exc:
+                    results[i] = exc
+
+        procs = [
+            self.sim.process(worker(), label="mc-pipeline")
+            for _ in range(min(window, len(commands)))
+        ]
+        for proc in procs:
+            yield proc
+        return results
+
     def roundtrip(self, server: str, request: McRequest, data: bytes = b""):
         """Process helper: one request/response over active messages.
 
         Re-entrant: the server echoes ``request_id`` so concurrent calls
-        (a parallel mget fan-out) route their responses independently.
+        (a parallel mget fan-out, a pipelined window) route their
+        responses independently.
         """
         yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.build_ucr_us))
         span = (
@@ -431,10 +566,7 @@ class UcrTransport:
         yield from self.node.cpu_run(self.node.host.cpu_time(self.costs.parse_ucr_us))
         entry = self._pending.pop(rid, None)
         assert entry is not None, "counter fired before response landed"
-        header, payload = entry
-        if header.status == "error":
-            _raise_ucr_error(header)
-        return header, payload
+        return entry
 
     def fire(self, server: str, request: McRequest, data: bytes = b""):
         """Send with noreply semantics."""
@@ -492,6 +624,10 @@ class UcrUdTransport(UcrTransport):
         raise NotImplementedError("UD transport is connection-less")
         yield  # pragma: no cover
 
+    def execute_many(self, server: str, commands: list, window: int = 1, trace=None):
+        """UD is single-flight (retransmission state): force window 1."""
+        return (yield from super().execute_many(server, commands, 1, trace=trace))
+
     def _deliver_response(self, header: McResponse, data: bytes) -> None:
         # Discard stale responses from earlier (timed-out) transmissions.
         if header.request_id and header.request_id != self._last_request_id:
@@ -530,8 +666,6 @@ class UcrUdTransport(UcrTransport):
             yield from self.node.cpu_run(
                 self.node.host.cpu_time(self.costs.parse_ucr_us)
             )
-            if header.status == "error":
-                _raise_ucr_error(header)
             return header, payload
         raise ServerDownError(
             f"{server}: no response after {self.max_retries + 1} attempts"
@@ -574,6 +708,7 @@ class MemcachedClient:
         transport,
         servers: list[str],
         distribution="modula",
+        pipeline_depth: int = 1,
     ) -> None:
         self.transport = transport
         self.sim = transport.sim
@@ -588,6 +723,10 @@ class MemcachedClient:
             # Any object speaking the distribution protocol (server_for /
             # servers / remove_server), e.g. a cluster.router.HashRing.
             self.distribution = distribution
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
+        #: Default in-flight window for :meth:`pipeline` (per connection).
+        self.pipeline_depth = int(pipeline_depth)
         self.ops_issued = 0
         #: The server the most recent operation targeted (history
         #: recording attributes each attempt to its shard).
@@ -603,198 +742,80 @@ class MemcachedClient:
         self._last_server = server
         return server
 
-    @property
-    def _ucr(self) -> bool:
-        return isinstance(self.transport, UcrTransport)
+    # Health accounting hooks: the base client tracks nothing; the
+    # sharded client overrides these to drive ejection/rejoin.
 
-    @property
-    def _binary(self) -> bool:
-        return getattr(self.transport, "binary", False)
+    def _note_failure(self, server: Optional[str]) -> None:
+        pass
 
-    def _bin_check(self, msg, *extra_ok) -> bool:
-        """True on NO_ERROR; False on the not-found/not-stored family;
-        raises for real errors."""
-        St = binp.Status
-        soft = {St.KEY_NOT_FOUND, St.KEY_EXISTS, St.ITEM_NOT_STORED, *extra_ok}
-        if msg.status == St.NO_ERROR:
-            return True
-        if msg.status in soft:
-            return False
-        if msg.status in (St.NON_NUMERIC, St.INVALID_ARGUMENTS):
-            # Both spell CLIENT_ERROR in the text protocol.
-            raise ClientError(f"binary status {msg.status:#06x}")
-        raise ServerError(f"binary status {msg.status:#06x}")
+    def _note_success(self, server: Optional[str]) -> None:
+        pass
+
+    def _call(self, cmd: Command, **span_attrs):
+        """Process helper: the one op path -- span, pick, execute, map."""
+        span = (
+            tracer.begin(f"client.{cmd.op}", "client", self.sim.now, **span_attrs)
+            if tracer.enabled
+            else None
+        )
+        try:
+            server = yield from self._pick(cmd.key)
+            reply = yield from self.transport.execute(server, cmd, trace=_ctx(span))
+            return _interpret(cmd, reply)
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
 
     # -- storage ------------------------------------------------------------------
 
     @_recorded("set")
     def set(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
-        return (yield from self._storage("set", key, value, flags, exptime))
+        cmd = Command(op="set", keys=[key], value=value, flags=flags, exptime=exptime)
+        return (yield from self._call(cmd, key=key, nbytes=len(value)))
 
     @_recorded("add")
     def add(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
-        return (yield from self._storage("add", key, value, flags, exptime))
+        cmd = Command(op="add", keys=[key], value=value, flags=flags, exptime=exptime)
+        return (yield from self._call(cmd, key=key, nbytes=len(value)))
 
     @_recorded("replace")
     def replace(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
-        return (yield from self._storage("replace", key, value, flags, exptime))
-
-    def _storage(self, cmd: str, key: str, value: bytes, flags: int, exptime: float):
-        span = (
-            tracer.begin(f"client.{cmd}", "client", self.sim.now,
-                         key=key, nbytes=len(value))
-            if tracer.enabled
-            else None
-        )
-        try:
-            server = yield from self._pick(key)
-            if self._ucr:
-                # int(): the text protocol truncates exptime on the wire;
-                # the struct header must not smuggle extra precision.
-                req = McRequest(op=cmd, keys=[key], flags=flags, exptime=int(exptime),
-                                value_length=len(value), trace=_ctx(span))
-                header, _ = yield from self.transport.roundtrip(server, req, value)
-                return header.status == "stored"
-            if self._binary:
-                opcode = {
-                    "set": binp.Opcode.SET,
-                    "add": binp.Opcode.ADD,
-                    "replace": binp.Opcode.REPLACE,
-                }[cmd]
-                msg = yield from self.transport.bin_roundtrip(
-                    server,
-                    binp.build_set(key, value, flags, int(exptime), opcode=opcode),
-                    trace=_ctx(span),
-                )
-                return self._bin_check(msg)
-            token = yield from self.transport.simple(
-                server, protocol.build_storage(cmd, key, flags, exptime, value),
-                trace=_ctx(span),
-            )
-            self._raise_on_error(token)
-            return token == "STORED"
-        finally:
-            if tracer.enabled:
-                tracer.end(span, self.sim.now)
+        cmd = Command(op="replace", keys=[key], value=value, flags=flags,
+                      exptime=exptime)
+        return (yield from self._call(cmd, key=key, nbytes=len(value)))
 
     @_recorded("cas")
     def cas(self, key: str, value: bytes, cas_token: int, flags: int = 0, exptime: float = 0):
         """Returns 'stored' | 'exists' | 'not_found'."""
-        server = yield from self._pick(key)
-        if self._ucr:
-            req = McRequest(op="cas", keys=[key], flags=flags, exptime=int(exptime),
-                            cas=cas_token, value_length=len(value))
-            header, _ = yield from self.transport.roundtrip(server, req, value)
-            return header.status
-        if self._binary:
-            msg = yield from self.transport.bin_roundtrip(
-                server,
-                binp.build_set(key, value, flags, int(exptime), cas=cas_token),
-            )
-            St = binp.Status
-            return {
-                St.NO_ERROR: "stored",
-                St.KEY_EXISTS: "exists",
-                St.KEY_NOT_FOUND: "not_found",
-            }.get(msg.status) or self._raise_bin(msg)
-        token = yield from self.transport.simple(
-            server, protocol.build_storage("cas", key, flags, exptime, value, cas=cas_token)
-        )
-        self._raise_on_error(token)
-        return {"STORED": "stored", "EXISTS": "exists", "NOT_FOUND": "not_found"}[token]
+        cmd = Command(op="cas", keys=[key], value=value, flags=flags,
+                      exptime=exptime, cas=cas_token)
+        return (yield from self._call(cmd, key=key, nbytes=len(value)))
 
     @_recorded("append")
     def append(self, key: str, value: bytes):
         """Append to an existing value; True if the key was present."""
-        return (yield from self._concat_op("append", key, value))
+        cmd = Command(op="append", keys=[key], value=value)
+        return (yield from self._call(cmd, key=key, nbytes=len(value)))
 
     @_recorded("prepend")
     def prepend(self, key: str, value: bytes):
         """Prepend to an existing value; True if the key was present."""
-        return (yield from self._concat_op("prepend", key, value))
-
-    def _concat_op(self, cmd: str, key: str, value: bytes):
-        server = yield from self._pick(key)
-        if self._ucr:
-            req = McRequest(op=cmd, keys=[key], value_length=len(value))
-            header, _ = yield from self.transport.roundtrip(server, req, value)
-            return header.status == "stored"
-        if self._binary:
-            msg = yield from self.transport.bin_roundtrip(
-                server, binp.build_concat(key, value, append=(cmd == "append"))
-            )
-            return self._bin_check(msg)
-        token = yield from self.transport.simple(
-            server, protocol.build_storage(cmd, key, 0, 0, value)
-        )
-        self._raise_on_error(token)
-        return token == "STORED"
-
-    @staticmethod
-    def _raise_bin(msg) -> None:
-        St = binp.Status
-        if msg.status in (St.NON_NUMERIC, St.INVALID_ARGUMENTS):
-            # Both spell CLIENT_ERROR in the text protocol.
-            raise ClientError(f"binary status {msg.status:#06x}")
-        raise ServerError(f"binary status {msg.status:#06x}")
+        cmd = Command(op="prepend", keys=[key], value=value)
+        return (yield from self._call(cmd, key=key, nbytes=len(value)))
 
     # -- retrieval ------------------------------------------------------------------
 
     @_recorded("get")
     def get(self, key: str):
         """Returns the value bytes, or None on miss."""
-        span = (
-            tracer.begin("client.get", "client", self.sim.now, key=key)
-            if tracer.enabled
-            else None
-        )
-        try:
-            server = yield from self._pick(key)
-            if self._ucr:
-                req = McRequest(op="get", keys=[key], trace=_ctx(span))
-                header, payload = yield from self.transport.roundtrip(server, req)
-                if not header.values_meta:
-                    return None
-                return payload
-            if self._binary:
-                msg = yield from self.transport.bin_roundtrip(
-                    server, binp.build_get(key), trace=_ctx(span)
-                )
-                if msg.status == binp.Status.KEY_NOT_FOUND:
-                    return None
-                self._bin_check(msg)
-                return msg.value
-            replies = yield from self.transport.values(
-                server, protocol.build_get([key]), trace=_ctx(span)
-            )
-            return replies[0].data if replies else None
-        finally:
-            if tracer.enabled:
-                tracer.end(span, self.sim.now)
+        cmd = Command(op="get", keys=[key])
+        return (yield from self._call(cmd, key=key))
 
     @_recorded("gets")
     def gets(self, key: str):
         """Returns (value, cas) or None."""
-        server = yield from self._pick(key)
-        if self._ucr:
-            req = McRequest(op="gets", keys=[key])
-            header, payload = yield from self.transport.roundtrip(server, req)
-            if not header.values_meta:
-                return None
-            _, _, _, cas = header.values_meta[0]
-            return payload, cas
-        if self._binary:
-            msg = yield from self.transport.bin_roundtrip(server, binp.build_get(key))
-            if msg.status == binp.Status.KEY_NOT_FOUND:
-                return None
-            self._bin_check(msg)
-            return msg.value, msg.cas  # binary always carries the cas
-        replies = yield from self.transport.values(
-            server, protocol.build_get([key], with_cas=True)
-        )
-        if not replies:
-            return None
-        return replies[0].data, replies[0].cas
+        cmd = Command(op="gets", keys=[key])
+        return (yield from self._call(cmd, key=key))
 
     def get_multi(self, keys: list[str]):
         """mget: {key: value} for hits, one batched request per server.
@@ -802,163 +823,219 @@ class MemcachedClient:
         Server groups are fetched **in parallel** when the transport
         allows it (libmemcached issues all requests before collecting);
         single-flight transports (UD with retransmission) fall back to
-        sequential groups.
+        sequential groups.  Each key is recorded as its own ``get`` in
+        the operation history (batch-level invoke/complete instants --
+        sound for the linearizability checker, which treats widened
+        intervals permissively).
         """
-        by_server: dict[str, list[str]] = {}
-        for key in keys:
-            server = yield from self._pick(key)
-            by_server.setdefault(server, []).append(key)
-        out: dict[str, bytes] = {}
-        if getattr(self.transport, "supports_concurrency", False) and len(by_server) > 1:
-            fetches = [
-                self.sim.process(self._fetch_group(server, group, out))
-                for server, group in by_server.items()
-            ]
-            for proc in fetches:
-                yield proc
-        else:
-            for server, group in by_server.items():
-                yield from self._fetch_group(server, group, out)
-        return out
+        span = (
+            tracer.begin("client.get_multi", "client", self.sim.now, nkeys=len(keys))
+            if tracer.enabled
+            else None
+        )
+        try:
+            by_server: dict[str, list[str]] = {}
+            for key in keys:
+                server = yield from self._pick(key)
+                by_server.setdefault(server, []).append(key)
+            recs = None
+            if recorder.enabled:
+                recs = {
+                    key: recorder.invoke(self, "get", key, (), self.sim.now)
+                    for key in keys
+                }
+            out: dict[str, bytes] = {}
+            if getattr(self.transport, "supports_concurrency", False) and len(by_server) > 1:
+                fetches = [
+                    self.sim.process(
+                        self._fetch_group(server, group, out, recs, _ctx(span))
+                    )
+                    for server, group in by_server.items()
+                ]
+                for proc in fetches:
+                    yield proc
+            else:
+                for server, group in by_server.items():
+                    yield from self._fetch_group(server, group, out, recs, _ctx(span))
+            return out
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
 
-    def _fetch_group(self, server: str, group: list[str], out: dict):
-        """Process helper: one server's share of an mget."""
-        if self._ucr:
-            req = McRequest(op="get", keys=group)
-            header, payload = yield from self.transport.roundtrip(server, req)
-            offset = 0
-            for key, flags, length, cas in header.values_meta or []:
-                out[key] = payload[offset : offset + length]
-                offset += length
-        elif self._binary:
-            # No quiet-GETQ pipelining modeled: one GETK per key.
+    def _fetch_group(self, server: str, group: list[str], out: dict,
+                     recs=None, trace=None):
+        """Process helper: one server's share of an mget.
+
+        One multi-key get Command per group; the binary codec turns it
+        into a GETKQ quiet batch closed by a NOOP (misses produce no
+        frame), text and UCR batch natively.
+        """
+        cmd = Command(op="get", keys=list(group))
+        try:
+            reply = yield from self.transport.execute(server, cmd, trace=trace)
+            _raise_reply_error(reply)
+        except ServerDownError:
+            if recorder.enabled and recs is not None:
+                for key in group:
+                    recorder.lost(recs[key], self.sim.now, server)
+            raise
+        except (ClientError, ServerError, ProtocolError) as exc:
+            if recorder.enabled and recs is not None:
+                kind = _ERROR_KIND[type(exc)]
+                for key in group:
+                    recorder.fail(recs[key], kind, self.sim.now, server)
+            raise
+        for key, _flags, data, _cas in reply.values:
+            out[key] = data
+        if recorder.enabled and recs is not None:
             for key in group:
-                msg = yield from self.transport.bin_roundtrip(
-                    server, binp.build_get(key)
+                recorder.complete(recs[key], out.get(key), self.sim.now, server)
+
+    # -- pipelining -----------------------------------------------------------------
+
+    def pipeline(self, commands: list, depth: Optional[int] = None):
+        """Process helper: issue keyed *commands* with up to *depth* in
+        flight per server connection.
+
+        Returns one entry per command, in order: the value the blocking
+        method would have returned, or the exception that felled it
+        (``ServerDownError`` marks a lost op -- its effect is unknown).
+        Commands are grouped by target server; groups run in parallel
+        when the transport allows it.  Every command is individually
+        recorded in the operation history with batch-granular
+        invoke/complete instants.
+        """
+        if depth is None:
+            depth = self.pipeline_depth
+        depth = max(1, int(depth))
+        if not getattr(self.transport, "supports_concurrency", True):
+            depth = 1  # single-flight transports (UD) serialize anyway
+        span = (
+            tracer.begin("client.pipeline", "client", self.sim.now,
+                         nops=len(commands), depth=depth)
+            if tracer.enabled
+            else None
+        )
+        servers: list = []
+        replies: list = [_PENDING] * len(commands)
+        recs = None
+        try:
+            for cmd in commands:
+                server = yield from self._pick(cmd.key)
+                servers.append(server)
+            if recorder.enabled:
+                recs = [
+                    recorder.invoke(self, cmd.op, cmd.key, _record_args(cmd),
+                                    self.sim.now)
+                    for cmd in commands
+                ]
+            groups: dict[str, list[int]] = {}
+            for idx, server in enumerate(servers):
+                groups.setdefault(server, []).append(idx)
+
+            def fetch(server, idxs):
+                group = yield from self.transport.execute_many(
+                    server, [commands[i] for i in idxs], depth, trace=_ctx(span)
                 )
-                if msg.status == binp.Status.NO_ERROR:
-                    out[key] = msg.value
-        else:
-            replies = yield from self.transport.values(
-                server, protocol.build_get(group)
-            )
-            for reply in replies:
-                out[reply.key] = reply.data
+                for i, rep in zip(idxs, group):
+                    replies[i] = rep
+
+            if getattr(self.transport, "supports_concurrency", False) and len(groups) > 1:
+                procs = [
+                    self.sim.process(fetch(server, idxs))
+                    for server, idxs in groups.items()
+                ]
+                for proc in procs:
+                    yield proc
+            else:
+                for server, idxs in groups.items():
+                    yield from fetch(server, idxs)
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
+        results: list = []
+        for idx, cmd in enumerate(commands):
+            server = servers[idx]
+            rep = replies[idx]
+            if rep is _PENDING:  # fetch process died before this slot
+                rep = ServerDownError(f"{server}: pipelined reply never arrived")
+            if isinstance(rep, ServerDownError):
+                if recorder.enabled:
+                    recorder.lost(recs[idx], self.sim.now, server)
+                self._note_failure(server)
+                results.append(rep)
+                continue
+            if isinstance(rep, Exception):
+                if recorder.enabled:
+                    recorder.fail(recs[idx], _ERROR_KIND.get(type(rep), "server"),
+                                  self.sim.now, server)
+                results.append(rep)
+                continue
+            try:
+                value = _interpret(cmd, rep)
+            except (ClientError, ServerError, ProtocolError) as exc:
+                if recorder.enabled:
+                    recorder.fail(recs[idx], _ERROR_KIND[type(exc)],
+                                  self.sim.now, server)
+                results.append(exc)
+                continue
+            if recorder.enabled:
+                recorder.complete(recs[idx], value, self.sim.now, server)
+            self._note_success(server)
+            results.append(value)
+        return results
 
     # -- mutation -------------------------------------------------------------------
 
     @_recorded("delete")
     def delete(self, key: str):
         """Remove *key*; True if it existed."""
-        server = yield from self._pick(key)
-        if self._ucr:
-            req = McRequest(op="delete", keys=[key])
-            header, _ = yield from self.transport.roundtrip(server, req)
-            return header.status == "deleted"
-        if self._binary:
-            msg = yield from self.transport.bin_roundtrip(server, binp.build_delete(key))
-            return self._bin_check(msg)
-        token = yield from self.transport.simple(server, protocol.build_delete(key))
-        self._raise_on_error(token)
-        return token == "DELETED"
+        cmd = Command(op="delete", keys=[key])
+        return (yield from self._call(cmd, key=key))
 
     @_recorded("incr")
     def incr(self, key: str, delta: int = 1):
-        return (yield from self._arith("incr", key, delta))
+        cmd = Command(op="incr", keys=[key], delta=delta)
+        return (yield from self._call(cmd, key=key))
 
     @_recorded("decr")
     def decr(self, key: str, delta: int = 1):
-        return (yield from self._arith("decr", key, delta))
-
-    def _arith(self, cmd: str, key: str, delta: int):
-        server = yield from self._pick(key)
-        if self._ucr:
-            req = McRequest(op=cmd, keys=[key], delta=delta)
-            header, _ = yield from self.transport.roundtrip(server, req)
-            return header.number if header.status == "number" else None
-        if self._binary:
-            import struct
-
-            msg = yield from self.transport.bin_roundtrip(
-                server, binp.build_arith(key, delta, decrement=(cmd == "decr"))
-            )
-            if not self._bin_check(msg):
-                return None
-            return struct.unpack("!Q", msg.value)[0]
-        token = yield from self.transport.simple(
-            server, protocol.build_arith(cmd, key, delta)
-        )
-        self._raise_on_error(token)
-        return token if isinstance(token, int) else None
+        cmd = Command(op="decr", keys=[key], delta=delta)
+        return (yield from self._call(cmd, key=key))
 
     @_recorded("touch")
     def touch(self, key: str, exptime: float):
         """Update *key*'s expiry; True if it existed."""
-        server = yield from self._pick(key)
-        if self._ucr:
-            req = McRequest(op="touch", keys=[key], exptime=int(exptime))
-            header, _ = yield from self.transport.roundtrip(server, req)
-            return header.status == "touched"
-        if self._binary:
-            msg = yield from self.transport.bin_roundtrip(
-                server, binp.build_touch(key, int(exptime))
-            )
-            return self._bin_check(msg)
-        token = yield from self.transport.simple(
-            server, protocol.build_touch(key, exptime)
-        )
-        self._raise_on_error(token)
-        return token == "TOUCHED"
+        cmd = Command(op="touch", keys=[key], exptime=exptime)
+        return (yield from self._call(cmd, key=key))
 
     # -- admin ----------------------------------------------------------------------
 
     @_recorded("flush_all")
     def flush_all(self, delay: float = 0.0):
         """Flush every server in the pool."""
-        for server in list(self.distribution.servers):
-            if self._ucr:
-                req = McRequest(op="flush_all", exptime=int(delay), keys=["-"])
-                yield from self.transport.roundtrip(server, req)
-            elif self._binary:
-                msg = yield from self.transport.bin_roundtrip(
-                    server, binp.build_flush(int(delay))
+        span = (
+            tracer.begin("client.flush_all", "client", self.sim.now)
+            if tracer.enabled
+            else None
+        )
+        try:
+            for server in list(self.distribution.servers):
+                cmd = Command(op="flush_all", exptime=delay)
+                reply = yield from self.transport.execute(
+                    server, cmd, trace=_ctx(span)
                 )
-                self._bin_check(msg)
-            else:
-                token = yield from self.transport.simple(
-                    server, protocol.build_flush_all(delay)
-                )
-                self._raise_on_error(token)
+                _interpret(cmd, reply)
+        finally:
+            if tracer.enabled:
+                tracer.end(span, self.sim.now)
 
     def stats(self, server: Optional[str] = None):
         """Stats from one server (default: the first in the pool)."""
         target = server or self.distribution.servers[0]
-        if self._ucr:
-            req = McRequest(op="stats", keys=["-"])
-            header, _ = yield from self.transport.roundtrip(target, req)
-            return dict(header.values_meta or [])
-        if self._binary:
-            return (yield from self.transport.bin_stats(target))
-        c = yield from self.transport.conn(target)
-        yield from c.send(protocol.build_stats())
-        stats = {}
-        while True:
-            token = yield from c.next_token()
-            if token == "END":
-                break
-            if isinstance(token, tuple) and token[0] == "STAT":
-                stats[token[1]] = token[2]
-        return stats
-
-    @staticmethod
-    def _raise_on_error(token) -> None:
-        if isinstance(token, str):
-            if token.startswith("CLIENT_ERROR"):
-                raise ClientError(token)
-            if token.startswith("SERVER_ERROR"):
-                raise ServerError(token)
-            if token == "ERROR":
-                raise ProtocolError("server rejected the command")
+        cmd = Command(op="stats")
+        reply = yield from self.transport.execute(target, cmd)
+        return _interpret(cmd, reply)
 
 
 # ---------------------------------------------------------------------------
@@ -1037,8 +1114,10 @@ class ShardedClient(MemcachedClient):
         transport,
         ring,
         policy: FailoverPolicy = FailoverPolicy(),
+        pipeline_depth: int = 1,
     ) -> None:
-        super().__init__(transport, ring.servers, distribution=ring)
+        super().__init__(transport, ring.servers, distribution=ring,
+                         pipeline_depth=pipeline_depth)
         self.ring = ring
         self.policy = policy
         self._health: dict[str, _ShardHealth] = {
@@ -1123,7 +1202,9 @@ class ShardedClient(MemcachedClient):
 
     # Single-key operations gain failover; get_multi keeps the base
     # fan-out (its per-server groups are already independent, and a
-    # partial mget is the documented memcached contract).
+    # partial mget is the documented memcached contract).  pipeline()
+    # likewise reports per-command outcomes instead of retrying -- it
+    # still feeds the shard health accounting via _note_failure/success.
 
     def set(self, key: str, value: bytes, flags: int = 0, exptime: float = 0):
         return self._with_failover("set", key, value, flags, exptime)

@@ -1,0 +1,143 @@
+"""The single command execution engine behind every wire frontend.
+
+All three server frontends (text, binary, UCR AM handlers) decode their
+wire format into a :class:`~repro.memcached.command.Command` and hand it
+here; the engine runs it against the
+:class:`~repro.memcached.store.ItemStore` and returns one
+:class:`~repro.memcached.command.Reply`.  ``apply`` is pure Python -- it
+never yields -- so frontends keep full control of where simulated CPU
+time and memcpys are charged (their per-protocol cost structure is the
+point of the paper's comparison and must not be homogenized here).
+
+Errors never escape: ``apply`` is total, catching the store's
+``ClientError``/``ServerError`` and reporting them as error replies so
+wire codecs can map one taxonomy to their native status spaces.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.memcached.command import Command, Reply
+from repro.memcached.errors import ClientError, ServerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memcached.server import MemcachedServer
+
+
+class CommandEngine:
+    """Executes IR commands against one server's store."""
+
+    def __init__(self, server: "MemcachedServer") -> None:
+        self.server = server
+
+    def apply(self, cmd: Command) -> Reply:
+        """Run one command; always returns a Reply (never raises)."""
+        try:
+            return self._dispatch(cmd)
+        except ClientError as exc:
+            return Reply("error", message=str(exc), error_kind="client")
+        except ServerError as exc:
+            return Reply("error", message=str(exc), error_kind="server")
+
+    def _dispatch(self, cmd: Command) -> Reply:
+        store = self.server.store
+        op = cmd.op
+        if op in ("get", "gets"):
+            entries = []
+            for key in cmd.keys:
+                item = store.get(key)
+                if item is not None:
+                    entries.append((item.key, item.flags, item, item.cas))
+            return Reply("values", values=entries)
+        if op in ("set", "add", "replace"):
+            return self._storage(store, cmd, op)
+        if op == "cas":
+            outcome = store.cas(cmd.key, cmd.value, cmd.cas, cmd.flags, cmd.exptime)
+            reply = Reply(outcome)
+            if outcome == "stored" and cmd.want_cas_token:
+                item = store.get(cmd.key)
+                reply.cas = item.cas if item else 0
+            return reply
+        if op in ("append", "prepend"):
+            item = (
+                store.append(cmd.key, cmd.value)
+                if op == "append"
+                else store.prepend(cmd.key, cmd.value)
+            )
+            if item is None:
+                return Reply("not_stored")
+            return Reply("stored", cas=item.cas)
+        if op == "delete":
+            return Reply("deleted" if store.delete(cmd.key) else "not_found")
+        if op in ("incr", "decr"):
+            return self._arith(store, cmd, op)
+        if op == "touch":
+            return Reply("touched" if store.touch(cmd.key, cmd.exptime) else "not_found")
+        if op == "flush_all":
+            store.flush_all(cmd.exptime)
+            return Reply("ok")
+        if op == "stats":
+            sub = cmd.keys[0] if cmd.keys else ""
+            if sub == "slabs":
+                return Reply("stats", stats=store.slab_stats_detail())
+            if sub == "items":
+                return Reply("stats", stats=store.item_stats_detail())
+            return Reply("stats", stats=self.server.stats_dict())
+        if op == "version":
+            return Reply("version", message=self.server.VERSION)
+        if op == "noop":
+            return Reply("ok")
+        return Reply("error", message=f"unknown op {op!r}",
+                     error_kind="client", detail="unknown")
+
+    def _storage(self, store, cmd: Command, op: str) -> Reply:
+        item = cmd.reserved_item
+        if item is not None:
+            # Two-phase UCR path: the header handler already reserved the
+            # slab chunk (the RDMA READ landed the value in place).
+            cmd.reserved_item = None
+            if op != "set":
+                exists = store.get(cmd.key) is not None
+                if (op == "add" and exists) or (op == "replace" and not exists):
+                    store.abandon(item)
+                    return Reply("not_stored")
+            if item.chunk.page.mr is None:
+                # Store wasn't RDMA-registered: write through the item.
+                item.set_value(cmd.value)
+            store.commit(item)
+            return Reply("stored", cas=item.cas)
+        stored = getattr(store, op)(cmd.key, cmd.value, cmd.flags, cmd.exptime)
+        if stored is None:
+            return Reply("not_stored")
+        return Reply("stored", cas=stored.cas)
+
+    def _arith(self, store, cmd: Command, op: str) -> Reply:
+        if cmd.want_cas_token:
+            # Binary semantics: probe first (invalid keys fail here, as a
+            # plain client error -> INVALID_ARGUMENTS on that wire), then
+            # either auto-create on miss or apply and report the cas.
+            existing = store.get(cmd.key)
+            if existing is None:
+                if cmd.create_exptime is None:
+                    return Reply("not_found")
+                item = store.set(cmd.key, str(cmd.initial).encode(), 0,
+                                 cmd.create_exptime)
+                return Reply("number", number=cmd.initial, cas=item.cas)
+            try:
+                value = store.incr(cmd.key, cmd.delta) if op == "incr" \
+                    else store.decr(cmd.key, cmd.delta)
+            except ClientError as exc:
+                # Only arithmetic distinguishes NON_NUMERIC on the binary
+                # wire; the detail channel carries that through the IR.
+                return Reply("error", message=str(exc), error_kind="client",
+                             detail="non_numeric")
+            item = store.get(cmd.key)
+            return Reply("number", number=value, cas=item.cas if item else 0)
+        # Text/UCR semantics: no auto-create, a miss is not_found and a
+        # non-numeric value surfaces as a plain client error.
+        value = store.incr(cmd.key, cmd.delta) if op == "incr" \
+            else store.decr(cmd.key, cmd.delta)
+        if value is None:
+            return Reply("not_found")
+        return Reply("number", number=value)

@@ -346,3 +346,161 @@ def build_flush_all(delay: float = 0.0, noreply: bool = False) -> bytes:
 
 def build_version() -> bytes:
     return b"version\r\n"
+
+
+# ---------------------------------------------------------------------------
+# Command-IR codec (text wire format)
+# ---------------------------------------------------------------------------
+# The IR half of this module: Command -> request bytes (client),
+# Request -> Command (server), Reply -> response bytes (server), and a
+# token-stream assembler for the client.  Matching under pipelining is
+# in-order: the text protocol answers requests in submission order, so
+# the transport feeds reply tokens to the oldest incomplete assembler.
+
+from repro.memcached.command import Command, Reply, entry_data  # noqa: E402
+
+#: Pipelined reply matching policy: text replies arrive in request order.
+IN_ORDER_REPLIES = True
+
+
+def request_to_command(req: Request) -> Command:
+    """Decode one parsed text request into the IR."""
+    return Command(
+        op=req.command,
+        keys=list(req.keys),
+        value=req.data,
+        flags=req.flags,
+        exptime=req.exptime,
+        cas=req.cas,
+        delta=req.delta,
+        noreply=req.noreply,
+    )
+
+
+def encode_command(cmd: Command, opaque: int = 0) -> bytes:
+    """Serialize one IR command to text wire bytes (client side).
+
+    ``opaque`` is accepted for interface parity with the binary codec;
+    the text protocol matches replies by order, not id.
+    """
+    op = cmd.op
+    if op in ("set", "add", "replace", "append", "prepend"):
+        return build_storage(op, cmd.key, cmd.flags, cmd.exptime, cmd.value,
+                             noreply=cmd.noreply)
+    if op == "cas":
+        return build_storage("cas", cmd.key, cmd.flags, cmd.exptime, cmd.value,
+                             cas=cmd.cas, noreply=cmd.noreply)
+    if op in ("get", "gets"):
+        return build_get(cmd.keys, with_cas=(op == "gets"))
+    if op == "delete":
+        return build_delete(cmd.key, noreply=cmd.noreply)
+    if op in ("incr", "decr"):
+        return build_arith(op, cmd.key, cmd.delta, noreply=cmd.noreply)
+    if op == "touch":
+        return build_touch(cmd.key, cmd.exptime, noreply=cmd.noreply)
+    if op == "flush_all":
+        return build_flush_all(cmd.exptime, noreply=cmd.noreply)
+    if op == "stats":
+        return build_stats()
+    if op == "version":
+        return build_version()
+    raise ProtocolError(f"text protocol cannot encode op {cmd.op!r}")
+
+
+def encode_reply(cmd: Command, reply: Reply) -> bytes:
+    """Serialize one IR reply to text wire bytes (server side)."""
+    status = reply.status
+    if status == "values":
+        chunks = [
+            encode_value(key, flags, entry_data(data),
+                         cas if cmd.op == "gets" else None)
+            for key, flags, data, cas in reply.values
+        ]
+        chunks.append(encode_end())
+        return b"".join(chunks)
+    if status == "error":
+        if reply.error_kind == "client":
+            if reply.detail == "unknown":
+                return encode_error()
+            return encode_client_error(reply.message)
+        return encode_server_error(reply.message)
+    if status == "number":
+        return encode_number(reply.number)
+    if status == "stats":
+        return encode_stats(reply.stats or {})
+    if status == "version":
+        return encode_version(reply.message)
+    return {
+        "stored": encode_stored,
+        "not_stored": encode_not_stored,
+        "exists": encode_exists,
+        "not_found": encode_not_found,
+        "deleted": encode_deleted,
+        "touched": encode_touched,
+        "ok": encode_ok,
+    }[status]()
+
+
+class ReplyAssembler:
+    """Accumulate reply tokens for one command into a :class:`Reply`.
+
+    ``feed`` returns True once the reply is complete (``.reply`` is then
+    set).  Error lines complete the reply immediately -- the server
+    never follows CLIENT_ERROR/SERVER_ERROR/ERROR with END, even on a
+    get.  Tokens the command cannot produce raise
+    :class:`~repro.memcached.errors.ProtocolError` (stream desync).
+    """
+
+    def __init__(self, cmd: Command) -> None:
+        self.cmd = cmd
+        self.reply: Optional[Reply] = None
+        self._values: list = []
+        self._stats: dict = {}
+
+    def _done(self, reply: Reply) -> bool:
+        self.reply = reply
+        return True
+
+    def feed(self, token) -> bool:
+        """Consume one parsed reply token; True when the reply is complete."""
+        op = self.cmd.op
+        if isinstance(token, str):
+            if token.startswith("CLIENT_ERROR"):
+                return self._done(Reply("error", message=token, error_kind="client"))
+            if token.startswith("SERVER_ERROR"):
+                return self._done(Reply("error", message=token, error_kind="server"))
+            if token == "ERROR":
+                return self._done(
+                    Reply("error", message="server rejected the command",
+                          error_kind="protocol")
+                )
+            if token.startswith("VERSION "):
+                return self._done(Reply("version", message=token[len("VERSION "):]))
+        if op in ("get", "gets"):
+            if isinstance(token, ValueReply):
+                self._values.append((token.key, token.flags, token.data, token.cas or 0))
+                return False
+            if token == "END":
+                return self._done(Reply("values", values=self._values))
+            raise ProtocolError(f"unexpected token {token!r} in get reply")
+        if op == "stats":
+            if isinstance(token, tuple) and token[0] == "STAT":
+                self._stats[token[1]] = token[2]
+                return False
+            if token == "END":
+                return self._done(Reply("stats", stats=self._stats))
+            raise ProtocolError(f"unexpected token {token!r} in stats reply")
+        if isinstance(token, int):
+            return self._done(Reply("number", number=token))
+        marker_map = {
+            "STORED": "stored",
+            "NOT_STORED": "not_stored",
+            "EXISTS": "exists",
+            "NOT_FOUND": "not_found",
+            "DELETED": "deleted",
+            "TOUCHED": "touched",
+            "OK": "ok",
+        }
+        if isinstance(token, str) and token in marker_map:
+            return self._done(Reply(marker_map[token]))
+        raise ProtocolError(f"unexpected token {token!r} for {op}")

@@ -47,13 +47,31 @@ class Opcode:
     DECREMENT = 0x06
     QUIT = 0x07
     FLUSH = 0x08
+    GETQ = 0x09
     NOOP = 0x0A
     VERSION = 0x0B
     GETK = 0x0C
+    GETKQ = 0x0D
     APPEND = 0x0E
     PREPEND = 0x0F
     STAT = 0x10
     TOUCH = 0x1C
+
+
+_OPCODE_NAMES = {
+    value: name
+    for name, value in vars(Opcode).items()
+    if not name.startswith("_")
+}
+
+
+def opcode_name(opcode: int) -> str:
+    """Human-readable opcode label (telemetry span attributes)."""
+    return _OPCODE_NAMES.get(opcode, f"op{opcode:#04x}")
+
+
+#: The quiet retrieval opcodes: misses produce no response at all.
+QUIET_GET_OPCODES = frozenset({Opcode.GETQ, Opcode.GETKQ})
 
 
 class Status:
@@ -280,7 +298,7 @@ def respond(
 
 
 def respond_get_hit(request: BinMessage, flags: int, value: bytes, cas: int) -> bytes:
-    key = request.key if request.opcode == Opcode.GETK else b""
+    key = request.key if request.opcode in (Opcode.GETK, Opcode.GETKQ) else b""
     return respond(
         request, Status.NO_ERROR, extras=struct.pack("!L", flags),
         key=key, value=value, cas=cas,
@@ -298,3 +316,256 @@ def respond_stats(request: BinMessage, stats: dict) -> bytes:
         out.append(respond(request, key=str(k).encode(), value=str(v).encode()))
     out.append(respond(request))  # empty key/value ends the sequence
     return b"".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Command-IR codec (binary wire format)
+# ---------------------------------------------------------------------------
+# Command -> request frames (client), BinMessage -> Command (server),
+# Reply -> response frames (server), and a frame assembler for the
+# client.  Matching under pipelining is by opaque: the transport stamps
+# each in-flight command's slot index into the request's opaque field
+# and routes response frames back by it.  Multi-key gets become a
+# GETKQ-per-key quiet batch closed by a NOOP, all sharing one opaque --
+# misses simply produce no frame (the real protocol's mget idiom).
+
+from repro.memcached.command import Command, Reply, entry_data  # noqa: E402
+
+#: Pipelined reply matching policy: binary frames route by opaque.
+IN_ORDER_REPLIES = False
+
+#: No-auto-create sentinel in arith extras (binary spec).
+NO_AUTO_CREATE = 0xFFFFFFFF
+
+_STORAGE_OPCODES = {"set": Opcode.SET, "add": Opcode.ADD, "replace": Opcode.REPLACE}
+_SOFT_STATUSES = frozenset(
+    {Status.KEY_NOT_FOUND, Status.KEY_EXISTS, Status.ITEM_NOT_STORED}
+)
+
+
+def request_to_command(msg: BinMessage) -> Command:
+    """Decode one request frame into the IR."""
+    op = msg.opcode
+    key = msg.key.decode("ascii", errors="replace")
+    if op in (Opcode.GET, Opcode.GETK, Opcode.GETQ, Opcode.GETKQ):
+        return Command(op="get", keys=[key], quiet=op in QUIET_GET_OPCODES)
+    if op in (Opcode.SET, Opcode.ADD, Opcode.REPLACE):
+        flags, exptime = msg.set_extras()
+        if msg.cas:
+            return Command(op="cas", keys=[key], value=msg.value, flags=flags,
+                           exptime=exptime, cas=msg.cas, want_cas_token=True)
+        name = {Opcode.SET: "set", Opcode.ADD: "add", Opcode.REPLACE: "replace"}[op]
+        return Command(op=name, keys=[key], value=msg.value, flags=flags,
+                       exptime=exptime, want_cas_token=True)
+    if op in (Opcode.APPEND, Opcode.PREPEND):
+        name = "append" if op == Opcode.APPEND else "prepend"
+        return Command(op=name, keys=[key], value=msg.value, want_cas_token=True)
+    if op == Opcode.DELETE:
+        return Command(op="delete", keys=[key])
+    if op in (Opcode.INCREMENT, Opcode.DECREMENT):
+        delta, initial, exptime = msg.arith_extras()
+        return Command(
+            op="incr" if op == Opcode.INCREMENT else "decr",
+            keys=[key], delta=delta, initial=initial,
+            create_exptime=None if exptime == NO_AUTO_CREATE else exptime,
+            want_cas_token=True,
+        )
+    if op == Opcode.TOUCH:
+        return Command(op="touch", keys=[key], exptime=msg.touch_extras())
+    if op == Opcode.FLUSH:
+        return Command(op="flush_all", exptime=msg.flush_extras())
+    if op == Opcode.NOOP:
+        return Command(op="noop")
+    if op == Opcode.VERSION:
+        return Command(op="version")
+    if op == Opcode.STAT:
+        return Command(op="stats", keys=[key] if key else [])
+    return Command(op=opcode_name(op))
+
+
+def encode_command(cmd: Command, opaque: int = 0) -> bytes:
+    """Serialize one IR command to request frame(s) (client side)."""
+    op = cmd.op
+    if op in ("get", "gets"):
+        if len(cmd.keys) > 1:
+            # Quiet batch: GETKQ per key, NOOP fence, one shared opaque.
+            frames = [
+                encode(BinMessage(MAGIC_REQUEST, Opcode.GETKQ,
+                                  key=key.encode(), opaque=opaque))
+                for key in cmd.keys
+            ]
+            frames.append(build_noop(opaque))
+            return b"".join(frames)
+        return build_get(cmd.key, opaque=opaque)
+    if op in ("set", "add", "replace"):
+        return build_set(cmd.key, cmd.value, cmd.flags, int(cmd.exptime),
+                         opcode=_STORAGE_OPCODES[op], opaque=opaque)
+    if op == "cas":
+        return build_set(cmd.key, cmd.value, cmd.flags, int(cmd.exptime),
+                         cas=cmd.cas, opaque=opaque)
+    if op in ("append", "prepend"):
+        return build_concat(cmd.key, cmd.value, append=(op == "append"),
+                            opaque=opaque)
+    if op == "delete":
+        return build_delete(cmd.key, opaque=opaque)
+    if op in ("incr", "decr"):
+        exptime = NO_AUTO_CREATE if cmd.create_exptime is None else cmd.create_exptime
+        return build_arith(cmd.key, cmd.delta, initial=cmd.initial, exptime=exptime,
+                           decrement=(op == "decr"), opaque=opaque)
+    if op == "touch":
+        return build_touch(cmd.key, int(cmd.exptime), opaque=opaque)
+    if op == "flush_all":
+        return build_flush(int(cmd.exptime), opaque=opaque)
+    if op == "stats":
+        return build_stat(opaque=opaque)
+    if op == "version":
+        return build_version(opaque=opaque)
+    if op == "noop":
+        return build_noop(opaque=opaque)
+    raise ProtocolError(f"binary protocol cannot encode op {cmd.op!r}")
+
+
+def encode_reply(request: BinMessage, cmd: Command, reply: Reply) -> bytes:
+    """Serialize one IR reply to response bytes (server side).
+
+    Quiet-get misses return ``b""`` -- no frame at all, which the worker
+    loop's falsy check turns into silence on the wire.
+    """
+    status = reply.status
+    if status == "error":
+        if reply.error_kind == "server":
+            return respond(request, Status.VALUE_TOO_LARGE)
+        if reply.detail == "unknown":
+            return respond(request, Status.UNKNOWN_COMMAND)
+        if reply.detail == "non_numeric":
+            return respond(request, Status.NON_NUMERIC)
+        return respond(request, Status.INVALID_ARGUMENTS)
+    if status == "values":
+        if not reply.values:
+            if cmd.quiet:
+                return b""
+            return respond(request, Status.KEY_NOT_FOUND)
+        _key, flags, data, cas = reply.values[0]
+        return respond_get_hit(request, flags, entry_data(data), cas)
+    if status == "number":
+        return respond_counter(request, reply.number, reply.cas)
+    if status == "stats":
+        return respond_stats(request, reply.stats or {})
+    if status == "version":
+        return respond(request, value=reply.message.encode())
+    if status == "stored":
+        return respond(request, cas=reply.cas)
+    if status == "deleted" or status == "touched" or status == "ok":
+        return respond(request)
+    return respond(
+        request,
+        {
+            "not_stored": Status.ITEM_NOT_STORED,
+            "exists": Status.KEY_EXISTS,
+            "not_found": Status.KEY_NOT_FOUND,
+        }[status],
+    )
+
+
+class ReplyAssembler:
+    """Accumulate response frames for one command into a :class:`Reply`.
+
+    ``feed`` returns True once the reply is complete.  Single-frame for
+    every op except multi-key gets (hit frames until the NOOP fence) and
+    stats (pairs until the empty-key terminator).
+    """
+
+    def __init__(self, cmd: Command) -> None:
+        self.cmd = cmd
+        self.reply: "Reply | None" = None
+        self._values: list = []
+        self._stats: dict = {}
+
+    def _done(self, reply: Reply) -> bool:
+        self.reply = reply
+        return True
+
+    def _error(self, msg: BinMessage) -> Reply:
+        kind = (
+            "client"
+            if msg.status in (Status.NON_NUMERIC, Status.INVALID_ARGUMENTS)
+            else "server"
+        )
+        return Reply("error", message=f"binary status {msg.status:#06x}",
+                     error_kind=kind)
+
+    def feed(self, msg: BinMessage) -> bool:
+        """Consume one response frame; True when the reply is complete."""
+        cmd = self.cmd
+        op = cmd.op
+        if op in ("get", "gets") and len(cmd.keys) > 1:
+            if msg.opcode == Opcode.NOOP:
+                return self._done(Reply("values", values=self._values))
+            if msg.status == Status.NO_ERROR:
+                self._values.append(
+                    (msg.key.decode("ascii", errors="replace"),
+                     msg.get_response_flags(), msg.value, msg.cas)
+                )
+            # Error frames for individual keys are tolerated: an mget is
+            # best-effort, hits for the other keys still count.
+            return False
+        if op == "stats":
+            if msg.status != Status.NO_ERROR:
+                return self._done(self._error(msg))
+            if not msg.key:
+                return self._done(Reply("stats", stats=self._stats))
+            self._stats[msg.key.decode()] = msg.value.decode()
+            return False
+        if op in ("get", "gets"):
+            if msg.status == Status.KEY_NOT_FOUND:
+                return self._done(Reply("values", values=[]))
+            if msg.status != Status.NO_ERROR:
+                return self._done(self._error(msg))
+            return self._done(
+                Reply("values",
+                      values=[(cmd.key, msg.get_response_flags(), msg.value, msg.cas)])
+            )
+        if op == "cas":
+            mapped = {
+                Status.NO_ERROR: "stored",
+                Status.KEY_EXISTS: "exists",
+                Status.KEY_NOT_FOUND: "not_found",
+            }.get(msg.status)
+            if mapped is None:
+                return self._done(self._error(msg))
+            return self._done(Reply(mapped, cas=msg.cas))
+        if op in ("set", "add", "replace", "append", "prepend"):
+            if msg.status == Status.NO_ERROR:
+                return self._done(Reply("stored", cas=msg.cas))
+            if msg.status in _SOFT_STATUSES:
+                return self._done(Reply("not_stored"))
+            return self._done(self._error(msg))
+        if op == "delete":
+            if msg.status == Status.NO_ERROR:
+                return self._done(Reply("deleted"))
+            if msg.status in _SOFT_STATUSES:
+                return self._done(Reply("not_found"))
+            return self._done(self._error(msg))
+        if op in ("incr", "decr"):
+            if msg.status == Status.NO_ERROR:
+                return self._done(
+                    Reply("number", number=struct.unpack("!Q", msg.value)[0],
+                          cas=msg.cas)
+                )
+            if msg.status in _SOFT_STATUSES:
+                return self._done(Reply("not_found"))
+            return self._done(self._error(msg))
+        if op == "touch":
+            if msg.status == Status.NO_ERROR:
+                return self._done(Reply("touched"))
+            if msg.status in _SOFT_STATUSES:
+                return self._done(Reply("not_found"))
+            return self._done(self._error(msg))
+        if op == "version":
+            if msg.status != Status.NO_ERROR:
+                return self._done(self._error(msg))
+            return self._done(Reply("version", message=msg.value.decode()))
+        # flush_all / noop / anything acknowledged with a bare frame.
+        if msg.status == Status.NO_ERROR:
+            return self._done(Reply("ok"))
+        return self._done(self._error(msg))

@@ -1,0 +1,186 @@
+"""The memcached-over-UCR struct protocol (the paper's §V wire format).
+
+Requests and responses are fixed-layout structs carried as active
+message headers -- the "no parse" representation the paper credits for
+part of UCR's latency win.  This module owns the struct definitions
+(:class:`McRequest` / :class:`McResponse`), the AM ids, and the codec
+between the structs and the transport-neutral command IR
+(:mod:`repro.memcached.command`).
+
+Matching semantics under pipelining: every request carries a
+``request_id`` echoed by the server, so any number of AMs can be in
+flight per endpoint and responses route back by id (the client side of
+the seq-matching the AM layer's per-message ``seq`` provides on the
+wire).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.memcached.command import Command, Reply, entry_data, entry_length
+
+#: Active-message ids of the memcached-over-UCR protocol.
+MSG_MC_REQUEST = 0x11
+MSG_MC_RESPONSE = 0x12
+
+#: Approximate wire size of the fixed UCR request/response headers.
+MC_REQUEST_HEADER_BYTES = 24
+MC_RESPONSE_HEADER_BYTES = 16
+
+
+@dataclass
+class McRequest:
+    """Fixed-layout UCR request header (the no-parse representation)."""
+
+    op: str
+    keys: list[str]
+    flags: int = 0
+    exptime: float = 0
+    cas: int = 0
+    delta: int = 0
+    value_length: int = 0
+    #: Client counter named as the response AM's target counter.
+    counter_id: int = 0
+    noreply: bool = False
+    #: UD clients: the QP number responses should be addressed to
+    #: (0 = reply over the same reliable endpoint).
+    reply_qpn: int = 0
+    #: Retransmission id so duplicated UD requests can be detected.
+    request_id: int = 0
+    #: Filled by the server's header handler for two-phase sets.
+    reserved_item: Any = None
+    #: Telemetry rider (a TraceContext); rides the fixed header's padding
+    #: in the real protocol, so it is never counted in wire bytes.
+    trace: Any = None
+
+
+@dataclass
+class McResponse:
+    """Fixed-layout UCR response header."""
+
+    status: str  # 'stored' | 'not_stored' | 'exists' | 'not_found' |
+                 # 'deleted' | 'touched' | 'ok' | 'number' | 'values' | 'error'
+    number: int = 0
+    #: For get responses: (key, flags, length, cas) per hit, data follows
+    #: concatenated in the AM payload.
+    values_meta: list = None
+    message: str = ""
+    #: For status 'error': which side's fault ('client' | 'server'), so
+    #: the UCR path preserves the text protocol's CLIENT_ERROR vs
+    #: SERVER_ERROR distinction across the wire.
+    error_kind: str = "server"
+    #: Echoed from the request (UD retransmission matching).
+    request_id: int = 0
+    #: Telemetry rider: the server-side span context, so reply-path spans
+    #: attach under the handling operation.  Never counted in wire bytes.
+    trace: Any = None
+
+
+# ---------------------------------------------------------------------------
+# Client side: Command -> McRequest, McResponse -> Reply
+# ---------------------------------------------------------------------------
+
+#: Ops whose request header uses the "-" placeholder key (the fixed
+#: struct always carries a key slot; these ops target a server, not a key).
+_KEYLESS_OPS = frozenset({"flush_all", "stats"})
+
+
+def command_to_request(cmd: Command, trace=None) -> tuple[McRequest, bytes]:
+    """Fill one request struct; returns (header, data payload)."""
+    data = cmd.value
+    keys = list(cmd.keys) if cmd.keys else (["-"] if cmd.op in _KEYLESS_OPS else [])
+    return (
+        McRequest(
+            op=cmd.op,
+            keys=keys,
+            flags=cmd.flags,
+            exptime=int(cmd.exptime),
+            cas=cmd.cas,
+            delta=cmd.delta,
+            value_length=len(data),
+            noreply=cmd.noreply,
+            trace=trace,
+        ),
+        data,
+    )
+
+
+def response_to_reply(cmd: Command, header: McResponse, payload: bytes) -> Reply:
+    """Decode one response struct against the command that produced it."""
+    if header.status == "error":
+        return Reply(
+            "error", message=header.message,
+            error_kind=getattr(header, "error_kind", "server"),
+        )
+    if header.status == "values":
+        entries = []
+        offset = 0
+        for key, flags, length, cas in header.values_meta or []:
+            entries.append((key, flags, payload[offset : offset + length], cas))
+            offset += length
+        return Reply("values", values=entries)
+    if header.status == "ok" and cmd.op == "stats":
+        return Reply("stats", stats=dict(header.values_meta or []))
+    if header.status == "number":
+        return Reply("number", number=header.number)
+    return Reply(header.status)
+
+
+# ---------------------------------------------------------------------------
+# Server side: McRequest -> Command, Reply -> McResponse
+# ---------------------------------------------------------------------------
+
+
+def request_to_command(header: McRequest, data: bytes) -> Command:
+    """Decode one request struct into the IR."""
+    keys = [] if header.keys == ["-"] else list(header.keys)
+    return Command(
+        op=header.op,
+        keys=keys,
+        value=data,
+        flags=header.flags,
+        exptime=header.exptime,
+        cas=header.cas,
+        delta=header.delta,
+        noreply=header.noreply,
+        reserved_item=header.reserved_item,
+    )
+
+
+def reply_to_response(cmd: Command, reply: Reply):
+    """Encode one reply; returns (header, payload, zero_copy_location).
+
+    Single-key hits whose slab page is RDMA-registered are served
+    zero-copy: the location names (mr, offset, length) and the payload
+    stays empty.
+    """
+    if reply.status == "error":
+        kind = "server" if reply.error_kind == "server" else "client"
+        return McResponse("error", message=reply.message, error_kind=kind), b"", None
+    if reply.status == "values":
+        if len(cmd.keys) == 1 and reply.values:
+            key, flags, data, cas = reply.values[0]
+            meta = [(key, flags, entry_length(data), cas)]
+            chunk = getattr(data, "chunk", None)
+            if chunk is not None and chunk.page.mr is not None:
+                return (
+                    McResponse("values", values_meta=meta),
+                    b"",
+                    (chunk.page.mr, chunk.offset, entry_length(data)),
+                )
+            return McResponse("values", values_meta=meta), entry_data(data), None
+        # mget: concatenate hits (always copied -- multiple extents).
+        metas, blobs = [], []
+        for key, flags, data, cas in reply.values:
+            metas.append((key, flags, entry_length(data), cas))
+            blobs.append(entry_data(data))
+        return McResponse("values", values_meta=metas), b"".join(blobs), None
+    if reply.status == "number":
+        return McResponse("number", number=reply.number), b"", None
+    if reply.status == "stats":
+        return McResponse("ok", values_meta=sorted(reply.stats.items())), b"", None
+    if reply.status == "version":
+        return McResponse("ok", message=reply.message), b"", None
+    return McResponse(reply.status), b"", None

@@ -26,7 +26,20 @@ from typing import TYPE_CHECKING, Any, Optional
 from repro.memcached.errors import ClientError, ProtocolError, ServerError
 from repro.memcached import protocol
 from repro.memcached import protocol_binary as binp
+from repro.memcached import protocol_ucr as ucrp
+from repro.memcached.engine import CommandEngine
 from repro.memcached.protocol import Request, RequestParser
+
+# The UCR struct protocol lives in protocol_ucr; re-exported here for
+# callers that import the wire types from the server module.
+from repro.memcached.protocol_ucr import (  # noqa: F401
+    MC_REQUEST_HEADER_BYTES,
+    MC_RESPONSE_HEADER_BYTES,
+    MSG_MC_REQUEST,
+    MSG_MC_RESPONSE,
+    McRequest,
+    McResponse,
+)
 from repro.memcached.store import ItemStore, StoreConfig
 from repro.sockets.api import Socket, WouldBlock
 from repro.sockets.epoll import EPOLLIN, Epoll
@@ -38,14 +51,6 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.fabric.topology import Node
     from repro.sim import Simulator
     from repro.sockets.stack import SocketStack
-
-#: Active-message ids of the memcached-over-UCR protocol.
-MSG_MC_REQUEST = 0x11
-MSG_MC_RESPONSE = 0x12
-
-#: Approximate wire size of the fixed UCR request/response headers.
-MC_REQUEST_HEADER_BYTES = 24
-MC_RESPONSE_HEADER_BYTES = 16
 
 
 @dataclass(frozen=True)
@@ -66,54 +71,6 @@ class MemcachedCosts:
     ucr_decode_us: float = 0.6       # fixed struct decode
     ucr_op_execute_us: float = 2.0   # same engine work
     ucr_response_us: float = 0.8     # fill a response struct
-
-
-@dataclass
-class McRequest:
-    """Fixed-layout UCR request header (the no-parse representation)."""
-
-    op: str
-    keys: list[str]
-    flags: int = 0
-    exptime: float = 0
-    cas: int = 0
-    delta: int = 0
-    value_length: int = 0
-    #: Client counter named as the response AM's target counter.
-    counter_id: int = 0
-    noreply: bool = False
-    #: UD clients: the QP number responses should be addressed to
-    #: (0 = reply over the same reliable endpoint).
-    reply_qpn: int = 0
-    #: Retransmission id so duplicated UD requests can be detected.
-    request_id: int = 0
-    #: Filled by the server's header handler for two-phase sets.
-    reserved_item: Any = None
-    #: Telemetry rider (a TraceContext); rides the fixed header's padding
-    #: in the real protocol, so it is never counted in wire bytes.
-    trace: Any = None
-
-
-@dataclass
-class McResponse:
-    """Fixed-layout UCR response header."""
-
-    status: str  # 'stored' | 'not_stored' | 'exists' | 'not_found' |
-                 # 'deleted' | 'touched' | 'ok' | 'number' | 'values' | 'error'
-    number: int = 0
-    #: For get responses: (key, flags, length, cas) per hit, data follows
-    #: concatenated in the AM payload.
-    values_meta: list = None
-    message: str = ""
-    #: For status 'error': which side's fault ('client' | 'server'), so
-    #: the UCR path preserves the text protocol's CLIENT_ERROR vs
-    #: SERVER_ERROR distinction across the wire.
-    error_kind: str = "server"
-    #: Echoed from the request (UD retransmission matching).
-    request_id: int = 0
-    #: Telemetry rider: the server-side span context, so reply-path spans
-    #: attach under the handling operation.  Never counted in wire bytes.
-    trace: Any = None
 
 
 class _ConnState:
@@ -234,7 +191,7 @@ class _Worker:
             server.stats_requests += 1
             span = (
                 tracer.begin("server.op", "server", server.sim.now,
-                             parent=state.last_trace, op=msg.opcode.name)
+                             parent=state.last_trace, op=binp.opcode_name(msg.opcode))
                 if tracer.enabled and state.last_trace is not None
                 else None
             )
@@ -278,6 +235,8 @@ class MemcachedServer:
         self.node = node
         self.costs = costs
         self.store = ItemStore(sim, store_config, pd=pd)
+        #: The single execution engine every wire frontend dispatches to.
+        self.engine = CommandEngine(self)
         self.workers = [_Worker(self, i) for i in range(n_workers)]
         self._rr = itertools.cycle(range(n_workers))
         self.stats_requests = 0
@@ -305,7 +264,16 @@ class MemcachedServer:
     # -- command execution (text protocol) -----------------------------------------
 
     def execute_text(self, req: Request, trace=None):
-        """Process helper: run one parsed command, return response bytes."""
+        """Process helper: run one parsed command, return response bytes.
+
+        Decode (codec) -> execute (engine) -> encode (codec); this method
+        only charges the text frontend's cost structure: dispatch was
+        charged by the worker, the engine's store work is op_execute,
+        response assembly copies each hit's value and charges
+        response_build -- except error replies, which are formatted on
+        the bail-out path without a build charge (stock memcached's
+        error path is the cheap one).
+        """
         costs = self.costs
         node = self.node
         span = (
@@ -316,203 +284,53 @@ class MemcachedServer:
         )
         try:
             yield from node.cpu_run(node.host.cpu_time(costs.op_execute_us))
-            try:
-                if req.command in ("get", "gets"):
-                    return (yield from self._text_get(req))
-                out = self._apply_store_op(req)
-            except ClientError as exc:
-                return protocol.encode_client_error(str(exc))
-            except ServerError as exc:
-                return protocol.encode_server_error(str(exc))
+            cmd = protocol.request_to_command(req)
+            reply = self.engine.apply(cmd)
+            if reply.status == "error":
+                return protocol.encode_reply(cmd, reply)
+            if reply.status == "values":
+                for _key, _flags, item, _cas in reply.values:
+                    # Response assembly copies the value into the
+                    # outgoing stream.
+                    if item.value_length:
+                        yield from node.memcpy(item.value_length)
             yield from node.cpu_run(node.host.cpu_time(costs.response_build_us))
-            return out
+            return protocol.encode_reply(cmd, reply)
         finally:
             if tracer.enabled:
                 tracer.end(span, self.sim.now)
 
-    def _text_get(self, req: Request):
-        node = self.node
-        with_cas = req.command == "gets"
-        chunks: list[bytes] = []
-        for key in req.keys:
-            item = self.store.get(key)
-            if item is None:
-                continue
-            value = item.value()
-            # Response assembly copies the value into the outgoing stream.
-            if value:
-                yield from node.memcpy(len(value))
-            chunks.append(
-                protocol.encode_value(
-                    key, item.flags, value, item.cas if with_cas else None
-                )
-            )
-        yield from node.cpu_run(node.host.cpu_time(self.costs.response_build_us))
-        chunks.append(protocol.encode_end())
-        return b"".join(chunks)
-
-    def _apply_store_op(self, req: Request) -> Optional[bytes]:
-        store = self.store
-        cmd = req.command
-        if cmd == "set":
-            store.set(req.key, req.data, req.flags, req.exptime)
-            return protocol.encode_stored()
-        if cmd == "add":
-            ok = store.add(req.key, req.data, req.flags, req.exptime)
-            return protocol.encode_stored() if ok else protocol.encode_not_stored()
-        if cmd == "replace":
-            ok = store.replace(req.key, req.data, req.flags, req.exptime)
-            return protocol.encode_stored() if ok else protocol.encode_not_stored()
-        if cmd == "append":
-            ok = store.append(req.key, req.data)
-            return protocol.encode_stored() if ok else protocol.encode_not_stored()
-        if cmd == "prepend":
-            ok = store.prepend(req.key, req.data)
-            return protocol.encode_stored() if ok else protocol.encode_not_stored()
-        if cmd == "cas":
-            outcome = store.cas(req.key, req.data, req.cas, req.flags, req.exptime)
-            return {
-                "stored": protocol.encode_stored(),
-                "exists": protocol.encode_exists(),
-                "not_found": protocol.encode_not_found(),
-            }[outcome]
-        if cmd == "delete":
-            ok = store.delete(req.key)
-            return protocol.encode_deleted() if ok else protocol.encode_not_found()
-        if cmd in ("incr", "decr"):
-            value = (
-                store.incr(req.key, req.delta)
-                if cmd == "incr"
-                else store.decr(req.key, req.delta)
-            )
-            return (
-                protocol.encode_number(value)
-                if value is not None
-                else protocol.encode_not_found()
-            )
-        if cmd == "touch":
-            ok = store.touch(req.key, req.exptime)
-            return protocol.encode_touched() if ok else protocol.encode_not_found()
-        if cmd == "flush_all":
-            self.store.flush_all(req.exptime)
-            return protocol.encode_ok()
-        if cmd == "stats":
-            sub = req.keys[0] if req.keys else ""
-            if sub == "slabs":
-                return protocol.encode_stats(self.store.slab_stats_detail())
-            if sub == "items":
-                return protocol.encode_stats(self.store.item_stats_detail())
-            return protocol.encode_stats(self.stats_dict())
-        if cmd == "version":
-            return protocol.encode_version(self.VERSION)
-        return protocol.encode_error()
-
     # -- command execution (binary protocol) -----------------------------------------
 
     def execute_binary(self, msg: "binp.BinMessage", trace=None):
-        """Process helper: run one binary command, return response bytes."""
+        """Process helper: run one binary command, return response bytes.
+
+        Same decode -> engine -> encode shape as the text path, with the
+        binary frontend's cost structure: no response_build charge (the
+        fixed-layout response is filled in place), one memcpy per served
+        value.  Quiet-get misses encode to b"" and the worker sends
+        nothing.
+        """
         costs = self.costs
         node = self.node
-        store = self.store
-        Op, St = binp.Opcode, binp.Status
         span = (
             tracer.begin("store.apply", "store", self.sim.now,
-                         parent=trace, op=msg.opcode.name)
+                         parent=trace, op=binp.opcode_name(msg.opcode))
             if tracer.enabled and trace is not None
             else None
         )
         try:
             yield from node.cpu_run(node.host.cpu_time(costs.op_execute_us))
-            result = yield from self._execute_binary_inner(msg, store, node, Op, St)
-            return result
+            cmd = binp.request_to_command(msg)
+            reply = self.engine.apply(cmd)
+            if reply.status == "values" and reply.values:
+                _key, _flags, item, _cas = reply.values[0]
+                if item.value_length:
+                    yield from node.memcpy(item.value_length)
+            return binp.encode_reply(msg, cmd, reply)
         finally:
             if tracer.enabled:
                 tracer.end(span, self.sim.now)
-
-    def _execute_binary_inner(self, msg, store, node, Op, St):
-        key = msg.key.decode("ascii", errors="replace")
-        try:
-            if msg.opcode in (Op.GET, Op.GETK):
-                item = store.get(key)
-                if item is None:
-                    return binp.respond(msg, St.KEY_NOT_FOUND)
-                value = item.value()
-                if value:
-                    yield from node.memcpy(len(value))
-                return binp.respond_get_hit(msg, item.flags, value, item.cas)
-            if msg.opcode in (Op.SET, Op.ADD, Op.REPLACE):
-                flags, exptime = msg.set_extras()
-                if msg.cas:
-                    outcome = store.cas(key, msg.value, msg.cas, flags, exptime)
-                    status = {
-                        "stored": St.NO_ERROR,
-                        "exists": St.KEY_EXISTS,
-                        "not_found": St.KEY_NOT_FOUND,
-                    }[outcome]
-                    item = store.get(key) if status == St.NO_ERROR else None
-                    return binp.respond(msg, status, cas=item.cas if item else 0)
-                if msg.opcode == Op.SET:
-                    item = store.set(key, msg.value, flags, exptime)
-                elif msg.opcode == Op.ADD:
-                    item = store.add(key, msg.value, flags, exptime)
-                else:
-                    item = store.replace(key, msg.value, flags, exptime)
-                if item is None:
-                    return binp.respond(msg, St.ITEM_NOT_STORED)
-                return binp.respond(msg, cas=item.cas)
-            if msg.opcode in (Op.APPEND, Op.PREPEND):
-                item = (
-                    store.append(key, msg.value)
-                    if msg.opcode == Op.APPEND
-                    else store.prepend(key, msg.value)
-                )
-                if item is None:
-                    return binp.respond(msg, St.ITEM_NOT_STORED)
-                return binp.respond(msg, cas=item.cas)
-            if msg.opcode == Op.DELETE:
-                ok = store.delete(key)
-                return binp.respond(msg, St.NO_ERROR if ok else St.KEY_NOT_FOUND)
-            if msg.opcode in (Op.INCREMENT, Op.DECREMENT):
-                delta, initial, exptime = msg.arith_extras()
-                existing = store.get(key)
-                if existing is None:
-                    # 0xffffffff exptime: do not auto-create (binary spec).
-                    if exptime == 0xFFFFFFFF:
-                        return binp.respond(msg, St.KEY_NOT_FOUND)
-                    item = store.set(key, str(initial).encode(), 0, exptime)
-                    return binp.respond_counter(msg, initial, item.cas)
-                try:
-                    value = (
-                        store.incr(key, delta)
-                        if msg.opcode == Op.INCREMENT
-                        else store.decr(key, delta)
-                    )
-                except ClientError:
-                    # Only arithmetic maps client errors to NON_NUMERIC;
-                    # everything else is INVALID_ARGUMENTS (see below).
-                    return binp.respond(msg, St.NON_NUMERIC)
-                item = store.get(key)
-                return binp.respond_counter(msg, value, item.cas if item else 0)
-            if msg.opcode == Op.TOUCH:
-                ok = store.touch(key, msg.touch_extras())
-                return binp.respond(msg, St.NO_ERROR if ok else St.KEY_NOT_FOUND)
-            if msg.opcode == Op.FLUSH:
-                store.flush_all(msg.flush_extras())
-                return binp.respond(msg)
-            if msg.opcode == Op.NOOP:
-                return binp.respond(msg)
-            if msg.opcode == Op.VERSION:
-                return binp.respond(msg, value=self.VERSION.encode())
-            if msg.opcode == Op.STAT:
-                return binp.respond_stats(msg, self.stats_dict())
-            return binp.respond(msg, St.UNKNOWN_COMMAND)
-        except ClientError:
-            # Bad keys and other malformed-request errors: the text
-            # protocol says CLIENT_ERROR, the binary status for the same
-            # family is INVALID_ARGUMENTS (NON_NUMERIC is arith-specific).
-            return binp.respond(msg, St.INVALID_ARGUMENTS)
-        except ServerError:
-            return binp.respond(msg, St.VALUE_TOO_LARGE)
 
     def stats_dict(self) -> dict:
         """Store stats plus server-level fields (threads, totals)."""
@@ -692,16 +510,9 @@ class UcrServerPort:
                 )
                 try:
                     yield from node.cpu_run(node.host.cpu_time(costs.ucr_op_execute_us))
-                    try:
-                        response, payload, location = self._apply(header, data)
-                    except ClientError as exc:
-                        response, payload, location = (
-                            McResponse("error", message=str(exc), error_kind="client"),
-                            b"",
-                            None,
-                        )
-                    except ServerError as exc:
-                        response, payload, location = McResponse("error", message=str(exc)), b"", None
+                    cmd = ucrp.request_to_command(header, data)
+                    reply = server.engine.apply(cmd)
+                    response, payload, location = ucrp.reply_to_response(cmd, reply)
                 finally:
                     if tracer.enabled:
                         tracer.end(apply_span, self.sim.now)
@@ -738,79 +549,6 @@ class UcrServerPort:
         finally:
             if tracer.enabled:
                 tracer.end(span, self.sim.now)
-
-    def _apply(self, req: McRequest, data: bytes):
-        """Returns (response_header, payload_bytes, zero_copy_location)."""
-        store = self.server.store
-        op = req.op
-        if op in ("set", "add", "replace"):
-            item = req.reserved_item
-            if item is None:  # zero-length value (no reservation): plain path
-                stored = getattr(store, op)(req.keys[0], data, req.flags, req.exptime)
-                return McResponse("stored" if stored is not None else "not_stored"), b"", None
-            req.reserved_item = None
-            if op != "set":
-                exists = store.get(req.keys[0]) is not None
-                if (op == "add" and exists) or (op == "replace" and not exists):
-                    store.abandon(item)
-                    return McResponse("not_stored"), b"", None
-            if item.chunk.page.mr is None:
-                # Store wasn't RDMA-registered: write through the item.
-                item.set_value(data)
-            store.commit(item)
-            return McResponse("stored"), b"", None
-        if op in ("get", "gets"):
-            if len(req.keys) == 1:
-                item = store.get(req.keys[0])
-                if item is None:
-                    return McResponse("values", values_meta=[]), b"", None
-                meta = [(item.key, item.flags, item.value_length, item.cas)]
-                if item.chunk.page.mr is not None:
-                    return (
-                        McResponse("values", values_meta=meta),
-                        b"",
-                        (item.chunk.page.mr, item.chunk.offset, item.value_length),
-                    )
-                return McResponse("values", values_meta=meta), item.value(), None
-            # mget: concatenate hits (always copied -- multiple extents).
-            metas, blobs = [], []
-            for key, item in store.get_multi(req.keys).items():
-                metas.append((key, item.flags, item.value_length, item.cas))
-                blobs.append(item.value())
-            return McResponse("values", values_meta=metas), b"".join(blobs), None
-        if op in ("append", "prepend"):
-            item = (
-                store.append(req.keys[0], data)
-                if op == "append"
-                else store.prepend(req.keys[0], data)
-            )
-            return McResponse("stored" if item is not None else "not_stored"), b"", None
-        if op == "delete":
-            ok = store.delete(req.keys[0])
-            return McResponse("deleted" if ok else "not_found"), b"", None
-        if op in ("incr", "decr"):
-            value = (
-                store.incr(req.keys[0], req.delta)
-                if op == "incr"
-                else store.decr(req.keys[0], req.delta)
-            )
-            if value is None:
-                return McResponse("not_found"), b"", None
-            return McResponse("number", number=value), b"", None
-        if op == "cas":
-            outcome = store.cas(req.keys[0], data, req.cas, req.flags, req.exptime)
-            return McResponse(outcome if outcome != "not_found" else "not_found"), b"", None
-        if op == "touch":
-            ok = store.touch(req.keys[0], req.exptime)
-            return McResponse("touched" if ok else "not_found"), b"", None
-        if op == "flush_all":
-            store.flush_all(req.exptime)
-            return McResponse("ok"), b"", None
-        if op == "stats":
-            stats = self.server.stats_dict()
-            return McResponse("ok", values_meta=sorted(stats.items())), b"", None
-        raise ClientError(f"unknown op {op!r}")
-
 
 class _CounterRef:
     """Names a remote counter by id in an outbound AM (only the id is

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
+from repro.memcached.command import Command
 from repro.memcached.errors import ServerDownError
 from repro.sim.trace import LatencyRecorder
 from repro.telemetry import tracer
@@ -45,6 +46,8 @@ class MemslapResult:
     #: operation-timeout timers drain as no-ops, so use
     #: ``started_at_us + elapsed_us`` for the benchmark's end time.
     started_at_us: float = 0.0
+    #: In-flight window per client connection (1 = classic closed loop).
+    pipeline_depth: int = 1
 
     @property
     def total_ops(self) -> int:
@@ -88,6 +91,7 @@ class MemslapRunner:
         keys: Optional[KeyChooser] = None,
         client_factory: Optional[Callable[[int], object]] = None,
         tolerate_failures: bool = False,
+        pipeline_depth: int = 1,
     ) -> None:
         """*client_factory* maps a client-node index to a client object
         (default: ``cluster.client(transport, i)``); pass e.g.
@@ -96,7 +100,12 @@ class MemslapRunner:
         counts :class:`ServerDownError` as a failed op and get misses as
         misses instead of raising -- required when a chaos schedule kills
         shards mid-run and failover reroutes to servers without the key.
+        *pipeline_depth* > 1 switches each client from the classic
+        closed loop to windows of that many commands in flight at once
+        (``client.pipeline``); depth 1 is the unchanged blocking loop.
         """
+        if pipeline_depth < 1:
+            raise ValueError("pipeline_depth must be >= 1")
         if n_clients > len(cluster.client_nodes):
             raise ValueError(
                 f"{n_clients} clients need {n_clients} nodes; cluster has "
@@ -112,6 +121,7 @@ class MemslapRunner:
         self.keys = keys or KeyChooser(mode="single", prefix=f"bench-{value_size}")
         self.client_factory = client_factory
         self.tolerate_failures = tolerate_failures
+        self.pipeline_depth = pipeline_depth
 
     def run(self) -> MemslapResult:
         """Execute the benchmark; returns the populated result."""
@@ -124,6 +134,7 @@ class MemslapRunner:
             n_clients=self.n_clients,
             n_ops_per_client=self.n_ops_per_client,
             elapsed_us=0.0,
+            pipeline_depth=self.pipeline_depth,
         )
         factory = self.client_factory or (
             lambda i: cluster.client(self.transport, i)
@@ -187,8 +198,51 @@ class MemslapRunner:
                 tracer.instant("memslap.client_done", "client", sim.now)
             finish_times.append(sim.now)
 
+        def pipelined_loop(client):
+            """One client's timed loop: windows of *depth* ops in flight."""
+            depth = self.pipeline_depth
+            ops = list(self.pattern.ops(self.n_ops_per_client))
+            cursor = 0
+            while cursor < len(ops):
+                window = ops[cursor : cursor + depth]
+                cursor += len(window)
+                cmds = []
+                for op in window:
+                    key = self.keys.next_key()
+                    if op == "set":
+                        cmds.append(Command(op="set", keys=[key], value=value))
+                    else:
+                        cmds.append(Command(op="get", keys=[key]))
+                t0 = sim.now
+                outcomes = yield from client.pipeline(cmds, depth)
+                dt = sim.now - t0
+                for op, cmd, outcome in zip(window, cmds, outcomes):
+                    if isinstance(outcome, ServerDownError):
+                        if not self.tolerate_failures:
+                            raise outcome
+                        result.ops_failed += 1
+                        if tracer.enabled:
+                            tracer.instant("memslap.op_failed", "client",
+                                           sim.now, key=cmd.key)
+                        continue
+                    if isinstance(outcome, Exception):
+                        raise outcome
+                    if op == "get" and outcome is None:
+                        if not self.tolerate_failures:
+                            raise AssertionError(f"unexpected miss on {cmd.key}")
+                        result.get_misses += 1
+                    # Per-op latency under pipelining is the window's
+                    # wall time: what a closed-loop caller would wait.
+                    result.latency.record(dt)
+                    (result.set_latency if op == "set"
+                     else result.get_latency).record(dt)
+            if tracer.enabled:
+                tracer.instant("memslap.client_done", "client", sim.now)
+            finish_times.append(sim.now)
+
+        loop = closed_loop if self.pipeline_depth == 1 else pipelined_loop
         for client in clients:
-            sim.process(closed_loop(client))
+            sim.process(loop(client))
         sim.run()
         if len(finish_times) != self.n_clients:
             raise RuntimeError(
