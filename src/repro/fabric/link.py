@@ -154,9 +154,11 @@ class Nic:
 
         # Serialize on the local wire.
         req = self.tx.request()
-        yield req
-        yield sim.timeout(self.params.serialization_time(frame.nbytes) * self.slowdown)
-        self.tx.release(req)
+        try:
+            yield req
+            yield sim.timeout(self.params.serialization_time(frame.nbytes) * self.slowdown)
+        finally:
+            self.tx.release(req)
         self.frames_sent.add()
         self.bytes_sent.add(frame.nbytes)
         if tx_done is not None:
@@ -167,9 +169,11 @@ class Nic:
 
         # Receive-side per-frame processing (incast pressure point).
         rreq = frame.dst.rx.request()
-        yield rreq
-        yield sim.timeout(frame.dst.params.rx_frame_process_us)
-        frame.dst.rx.release(rreq)
+        try:
+            yield rreq
+            yield sim.timeout(frame.dst.params.rx_frame_process_us)
+        finally:
+            frame.dst.rx.release(rreq)
 
         frame.delivered_at = sim.now
         frame.dst.frames_received.add()

@@ -96,9 +96,13 @@ class Node:
         if work_us < 0:
             raise ValueError(f"negative CPU work: {work_us}")
         req = self.cpu.request()
-        yield req
-        yield self.sim.timeout(work_us * self.cpu_scale)
-        self.cpu.release(req)
+        try:
+            yield req
+            yield self.sim.timeout(work_us * self.cpu_scale)
+        finally:
+            # An interrupt raised at either yield must free the core (a
+            # queued request is cancelled, a granted one released).
+            self.cpu.release(req)
 
     def memcpy(self, nbytes: int):
         """Process helper: one single-core buffer copy of *nbytes*."""

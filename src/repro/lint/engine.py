@@ -1,16 +1,27 @@
-"""Lint engine: file discovery, suppression comments, reporting, CLI.
+"""Lint engine: file discovery, suppressions, baseline, reporting, CLI.
 
 The engine walks the given paths for ``*.py`` files, parses each once,
-runs every applicable rule (see :mod:`repro.lint.rules`), then filters
-findings through inline suppression comments::
+runs every applicable rule (see :mod:`repro.lint.rules` and, with
+``--flow``, :mod:`repro.lint.flow`), then filters findings through three
+suppression layers, each auditable via ``--show-suppressed``:
+
+**Inline comments** on the reported line::
 
     flagged_line()  # repro-lint: disable=L001
     flagged_line()  # repro-lint: disable=L001,L003
     flagged_line()  # repro-lint: disable=all
 
-The comment must sit on the reported line (for classes that is the
-``class`` statement itself).  Suppressed findings are counted and can be
-listed with ``--show-suppressed`` so audits can review every opt-out.
+**File-level headers** in the comment block before the first
+non-docstring statement (for modules whose entire purpose violates a
+rule, e.g. the buffer-sanitizer tests)::
+
+    # repro-lint: disable-file=L009 -- justification
+
+**The baseline** (``.repro-lint-baseline`` in the working directory,
+auto-loaded; override with ``--baseline`` / ``--no-baseline``): reviewed
+pre-existing findings, one per line as ``<rule> <path>:<line|*>`` with a
+trailing ``#`` justification.  Baselined findings are visible but do not
+fail the run, so new debt is blocked while old debt stays tracked.
 """
 
 from __future__ import annotations
@@ -24,15 +35,20 @@ from typing import Iterable, Optional, Sequence
 
 import ast
 
-from repro.lint.findings import Finding
+from repro.lint.findings import Finding, report_to_json, report_to_sarif
 from repro.lint.rules import ALL_RULES, HOT_PATH_DIRS, HOT_PATH_FILES, ModuleContext, Rule
 
-#: Directories never linted.
-SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist"}
+#: Directories never linted (``lint_fixtures`` holds modules with seeded
+#: hazards for the rule tests; they are linted explicitly, never swept).
+SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", "build", "dist", "lint_fixtures"}
 #: Directory suffixes never linted (setuptools metadata).
 SKIP_SUFFIXES = (".egg-info",)
 
+#: Default baseline file, resolved against the working directory.
+BASELINE_FILENAME = ".repro-lint-baseline"
+
 _SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_SUPPRESS_FILE_RE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,]+)")
 
 
 @dataclass
@@ -41,6 +57,8 @@ class LintReport:
 
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
+    #: Findings matched by a reviewed baseline entry (non-failing).
+    baselined: list[Finding] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: list[str] = field(default_factory=list)
 
@@ -48,6 +66,24 @@ class LintReport:
     def ok(self) -> bool:
         """True when the tree is clean (parse errors also fail the run)."""
         return not self.findings and not self.parse_errors
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One reviewed suppression from the baseline file."""
+
+    rule_id: str
+    path: str
+    line: Optional[int]  # None == any line ('*')
+
+    def matches(self, finding: Finding) -> bool:
+        """Whether *finding* is the debt this entry reviewed."""
+        if finding.rule_id != self.rule_id:
+            return False
+        if self.line is not None and finding.line != self.line:
+            return False
+        posix = finding.path.as_posix()
+        return posix == self.path or posix.endswith("/" + self.path)
 
 
 def classify_scope(path: Path) -> str:
@@ -90,12 +126,38 @@ def _suppressions_for_line(line: str) -> Optional[set[str]]:
     return {token.strip().upper() for token in match.group(1).split(",") if token.strip()}
 
 
+def _file_suppressions(source_lines: list, tree: ast.Module) -> set:
+    """Rule ids disabled for the whole file by header comments.
+
+    Only comment lines *before the first non-docstring statement* count
+    -- a ``disable-file`` buried mid-module is almost certainly a
+    misplaced line-level suppression, and ignoring it makes that loud.
+    """
+    body = list(tree.body)
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]  # module docstring
+    boundary = body[0].lineno - 1 if body else len(source_lines)
+    disabled: set = set()
+    for line in source_lines[:boundary]:
+        stripped = line.strip()
+        if not stripped.startswith("#"):
+            continue
+        match = _SUPPRESS_FILE_RE.search(stripped)
+        if match is not None:
+            disabled |= {
+                token.strip().upper()
+                for token in match.group(1).split(",")
+                if token.strip()
+            }
+    return disabled
+
+
 def lint_file(
     path: Path,
     rules: Sequence[Rule] = ALL_RULES,
     report: Optional[LintReport] = None,
 ) -> LintReport:
-    """Run *rules* over one file, applying inline suppressions."""
+    """Run *rules* over one file, applying inline and file suppressions."""
     report = report if report is not None else LintReport()
     try:
         source = path.read_text()
@@ -105,6 +167,7 @@ def lint_file(
         return report
     report.files_checked += 1
     lines = source.splitlines()
+    file_disabled = _file_suppressions(lines, tree)
     ctx = ModuleContext(
         path=path,
         tree=tree,
@@ -115,6 +178,9 @@ def lint_file(
         if not rule.applies_to(ctx):
             continue
         for finding in rule.check(ctx):
+            if "ALL" in file_disabled or finding.rule_id in file_disabled:
+                report.suppressed.append(finding)
+                continue
             line_text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
             disabled = _suppressions_for_line(line_text)
             if disabled is not None and ("ALL" in disabled or finding.rule_id in disabled):
@@ -142,15 +208,65 @@ def lint_paths(paths: Iterable[Path], rules: Sequence[Rule] = ALL_RULES) -> Lint
     return report
 
 
-def _select_rules(selector: Optional[str]) -> Sequence[Rule]:
-    """Resolve a ``--select L001,L003`` argument to rule instances."""
+# -- baseline ----------------------------------------------------------------
+
+
+def load_baseline(path: Path) -> list[BaselineEntry]:
+    """Parse a baseline file; raises ``ValueError`` on malformed lines."""
+    entries: list[BaselineEntry] = []
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip() if not raw.lstrip().startswith("#") else ""
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) != 2 or ":" not in parts[1]:
+            raise ValueError(f"{path}:{lineno}: expected '<rule> <path>:<line|*>'")
+        rule_id = parts[0].upper()
+        file_part, _, line_part = parts[1].rpartition(":")
+        entries.append(
+            BaselineEntry(
+                rule_id=rule_id,
+                path=file_part,
+                line=None if line_part == "*" else int(line_part),
+            )
+        )
+    return entries
+
+
+def apply_baseline(report: LintReport, entries: Sequence[BaselineEntry]) -> list:
+    """Move baselined findings out of the failing set; return unused entries."""
+    used: set = set()
+    still_open: list[Finding] = []
+    for finding in report.findings:
+        matched = False
+        for i, entry in enumerate(entries):
+            if entry.matches(finding):
+                used.add(i)
+                matched = True
+                break
+        if matched:
+            report.baselined.append(finding)
+        else:
+            still_open.append(finding)
+    report.findings[:] = still_open
+    return [entry for i, entry in enumerate(entries) if i not in used]
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _select_rules(selector: Optional[str], flow: bool) -> Sequence[Rule]:
+    """Resolve ``--select``/``--flow`` to the rule instances to run."""
+    from repro.lint.flow import FLOW_RULES
+
+    catalogue = tuple(ALL_RULES) + tuple(FLOW_RULES)
     if not selector:
-        return ALL_RULES
+        return catalogue if flow else tuple(ALL_RULES)
     wanted = {token.strip().upper() for token in selector.split(",") if token.strip()}
-    unknown = wanted - {rule.rule_id for rule in ALL_RULES}
+    unknown = wanted - {rule.rule_id for rule in catalogue}
     if unknown:
         raise SystemExit(f"repro-lint: unknown rule id(s): {', '.join(sorted(unknown))}")
-    return [rule for rule in ALL_RULES if rule.rule_id in wanted]
+    return [rule for rule in catalogue if rule.rule_id in wanted]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -163,31 +279,84 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="files or directories to lint (default: src tests)")
     parser.add_argument("--select", metavar="IDS",
                         help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--flow", action="store_true",
+                        help="also run the CFG/dataflow rules (L008-L011)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--show-suppressed", action="store_true",
-                        help="also list findings silenced by inline comments")
+                        help="also list findings silenced inline or by the baseline")
+    parser.add_argument("--format", choices=("text", "json", "sarif"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--output", metavar="FILE",
+                        help="write the report to FILE instead of stdout "
+                             "(text summary still printed)")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help=f"baseline file (default: ./{BASELINE_FILENAME} if present)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in ALL_RULES:
+        from repro.lint.flow import FLOW_RULES
+
+        for rule in tuple(ALL_RULES) + tuple(FLOW_RULES):
             scopes = ",".join(rule.scopes)
             print(f"{rule.rule_id}  [{scopes}]  {rule.title}")
         return 0
 
-    rules = _select_rules(args.select)
+    rules = _select_rules(args.select, args.flow)
     report = lint_paths([Path(p) for p in args.paths], rules)
+
+    unused_entries: list = []
+    if not args.no_baseline:
+        baseline_path = Path(args.baseline) if args.baseline else Path(BASELINE_FILENAME)
+        if args.baseline and not baseline_path.exists():
+            print(f"repro-lint: baseline {baseline_path} not found", file=sys.stderr)
+            return 1
+        if baseline_path.exists():
+            try:
+                entries = load_baseline(baseline_path)
+            except ValueError as exc:
+                print(f"repro-lint: {exc}", file=sys.stderr)
+                return 1
+            unused_entries = apply_baseline(report, entries)
+
+    rendered: Optional[str] = None
+    if args.format == "json":
+        rendered = report_to_json(report)
+    elif args.format == "sarif":
+        rendered = report_to_sarif(report, rules)
+
+    if rendered is not None and args.output:
+        Path(args.output).write_text(rendered)
+    elif rendered is not None:
+        print(rendered, end="")
 
     for error in report.parse_errors:
         print(f"error: {error}", file=sys.stderr)
-    for finding in report.findings:
-        print(finding.format())
-    if args.show_suppressed:
-        for finding in report.suppressed:
-            print(f"[suppressed] {finding.format()}")
-    status = "clean" if report.ok else f"{len(report.findings)} finding(s)"
-    print(
-        f"repro-lint: {report.files_checked} files, {status}, "
-        f"{len(report.suppressed)} suppressed"
-    )
+    for entry in unused_entries:
+        line = "*" if entry.line is None else entry.line
+        print(
+            f"warning: stale baseline entry {entry.rule_id} {entry.path}:{line}",
+            file=sys.stderr,
+        )
+    if args.format == "text" or args.output:
+        out = open(args.output, "w") if args.format == "text" and args.output else sys.stdout
+        try:
+            for finding in report.findings:
+                print(finding.format(), file=out)
+            if args.show_suppressed:
+                for finding in report.suppressed:
+                    print(f"[suppressed] {finding.format()}", file=out)
+                for finding in report.baselined:
+                    print(f"[baselined] {finding.format()}", file=out)
+        finally:
+            if out is not sys.stdout:
+                out.close()
+        status = "clean" if report.ok else f"{len(report.findings)} finding(s)"
+        extra = f", {len(report.baselined)} baselined" if report.baselined else ""
+        print(
+            f"repro-lint: {report.files_checked} files, {status}, "
+            f"{len(report.suppressed)} suppressed{extra}"
+        )
     return 0 if report.ok else 1

@@ -1,9 +1,24 @@
-"""The lint finding record (shared by rules and engine)."""
+"""The lint finding record and report serializers (text, JSON, SARIF).
+
+The machine-readable formats exist for CI: JSON for scripting against a
+run's output, SARIF 2.1.0 for code-scanning upload, both carrying the
+same locations and messages as the human ``file:line:col`` lines.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import LintReport
+    from repro.lint.rules import Rule
+
+#: SARIF schema constants pinned once (the format is versioned).
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 
 
 @dataclass(frozen=True, slots=True)
@@ -19,3 +34,95 @@ class Finding:
     def format(self) -> str:
         """``file:line:col: Lxxx message`` (clickable in most editors)."""
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready mapping (paths as POSIX strings)."""
+        return {
+            "path": self.path.as_posix(),
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "message": self.message,
+        }
+
+
+def report_to_json(report: "LintReport") -> str:
+    """The whole report as an indented JSON document."""
+    payload = {
+        "files_checked": report.files_checked,
+        "ok": report.ok,
+        "findings": [f.to_dict() for f in report.findings],
+        "suppressed": [f.to_dict() for f in report.suppressed],
+        "baselined": [f.to_dict() for f in report.baselined],
+        "parse_errors": list(report.parse_errors),
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def report_to_sarif(report: "LintReport", rules: Sequence["Rule"]) -> str:
+    """The open findings as a SARIF 2.1.0 document.
+
+    Suppressed and baselined findings are included with SARIF's own
+    ``suppressions`` marker so scanning UIs show them as reviewed rather
+    than open; parse errors surface as tool notifications.
+    """
+
+    def result(finding: Finding, suppressed_kind: str = "") -> dict:
+        """One finding as a SARIF result, optionally marked suppressed."""
+        entry = {
+            "ruleId": finding.rule_id,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path.as_posix()},
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        if suppressed_kind:
+            entry["suppressions"] = [
+                {"kind": "inSource" if suppressed_kind == "inline" else "external"}
+            ]
+        return entry
+
+    results = [result(f) for f in report.findings]
+    results += [result(f, "inline") for f in report.suppressed]
+    results += [result(f, "baseline") for f in report.baselined]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "docs/LINTING.md",
+                        "rules": [
+                            {
+                                "id": rule.rule_id,
+                                "shortDescription": {"text": rule.title},
+                            }
+                            for rule in rules
+                        ],
+                    }
+                },
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": not report.parse_errors,
+                        "toolExecutionNotifications": [
+                            {"level": "error", "message": {"text": err}}
+                            for err in report.parse_errors
+                        ],
+                    }
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2) + "\n"

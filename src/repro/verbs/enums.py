@@ -22,6 +22,26 @@ class QpState(enum.Enum):
     ERROR = "error"
 
 
+#: Legal queue-pair state transitions (ibv_modify_qp discipline).  This
+#: model collapses the INIT->RTR->RTS handshake into a single
+#: ``connect()`` call, so INIT->RTS is legal here even though real verbs
+#: require passing through RTR.  Any state may be torn down to ERROR;
+#: only ERROR may be recycled back to RESET.  The L010 lint rule checks
+#: every ``qp.state = QpState.X`` write in the tree against this table.
+LEGAL_QP_TRANSITIONS: dict[QpState, frozenset] = {
+    QpState.RESET: frozenset({QpState.INIT, QpState.ERROR}),
+    QpState.INIT: frozenset({QpState.RTR, QpState.RTS, QpState.ERROR}),
+    QpState.RTR: frozenset({QpState.RTS, QpState.ERROR}),
+    QpState.RTS: frozenset({QpState.ERROR}),
+    QpState.ERROR: frozenset({QpState.RESET, QpState.ERROR}),
+}
+
+
+def legal_transition(src: QpState, dst: QpState) -> bool:
+    """Whether ``modify_qp(src -> dst)`` is permitted by the model."""
+    return dst in LEGAL_QP_TRANSITIONS.get(src, frozenset())
+
+
 class Opcode(enum.Enum):
     """Work request / completion opcodes."""
 

@@ -23,7 +23,7 @@ from collections import deque
 from typing import TYPE_CHECKING, Deque, Optional
 
 from repro.verbs.cq import CompletionQueue, WorkCompletion
-from repro.verbs.enums import Opcode, QpState, QpType, WcStatus
+from repro.verbs.enums import Opcode, QpState, QpType, WcStatus, legal_transition
 from repro.verbs.packets import (
     IB_HEADER_BYTES,
     RDMA_READ_REQUEST_BYTES,
@@ -95,6 +95,19 @@ class QueuePair:
 
     # -- state management ------------------------------------------------------
 
+    def _modify(self, new: QpState) -> None:
+        """Transition the QP, enforcing :data:`LEGAL_QP_TRANSITIONS`.
+
+        The same table backs the L010 lint rule; this runtime guard
+        catches transitions the intraprocedural analysis cannot see.
+        """
+        if not legal_transition(self.state, new):
+            raise RuntimeError(
+                f"QP {self.qp_num}: illegal transition "
+                f"{self.state.name} -> {new.name}"
+            )
+        self.state = new
+
     def connect(self, remote: "QueuePair") -> None:
         """RC: bind to *remote* and transition to RTS (one side of the pair).
 
@@ -108,17 +121,17 @@ class QueuePair:
         if self.remote is not None:
             raise RuntimeError(f"QP {self.qp_num} already connected")
         self.remote = remote
-        self.state = QpState.RTS
+        self._modify(QpState.RTS)
 
     def ready_ud(self) -> None:
         """UD: transition straight to RTS (no peer binding)."""
         if self.qp_type is not QpType.UD:
             raise RuntimeError("ready_ud() only applies to UD queue pairs")
-        self.state = QpState.RTS
+        self._modify(QpState.RTS)
 
     def to_error(self) -> None:
         """Flush the QP: pending receives complete with WR_FLUSH_ERR."""
-        self.state = QpState.ERROR
+        self._modify(QpState.ERROR)
         while self._recv_queue:
             rwr = self._recv_queue.popleft()
             self.recv_cq.push(
@@ -197,9 +210,11 @@ class QueuePair:
 
         # The adapter's WQE engine is shared across all QPs on this HCA.
         engine = self.hca.tx_engine.request()
-        yield engine
-        yield sim.timeout(params.wqe_process_us)
-        self.hca.tx_engine.release(engine)
+        try:
+            yield engine
+            yield sim.timeout(params.wqe_process_us)
+        finally:
+            self.hca.tx_engine.release(engine)
         if tracer.enabled:
             tracer.end(span, sim.now)
 

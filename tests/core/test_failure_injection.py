@@ -111,7 +111,7 @@ def test_buffer_pool_double_release_rejected():
     buf = world.client_rt.recv_pool.get()
     buf.release()
     with pytest.raises(ValueError):
-        buf.release()
+        buf.release()  # repro-lint: disable=L009 -- deliberate double release; asserts the pool rejects it
 
 
 def test_rendezvous_pool_size_classes():

@@ -1,0 +1,99 @@
+"""Clean counterparts: none of these may produce a flow finding.
+
+Every function here walks right up to an L008-L011 hazard and then does
+the correct thing; the test asserts the flow rules report nothing, which
+pins the rules' false-positive controls (re-reads, stable terminals,
+destructive reads, escapes, finally protection).
+"""
+
+from repro.verbs.enums import QpState
+
+
+class CleanProcesses:
+    """Shared-state access patterns the rules must accept."""
+
+    def reread_after_yield(self, sim, key):
+        """Re-reading after the boundary clears the taint (L008)."""
+        owner = self.ring.server_for(key)
+        yield sim.timeout(1.0)
+        owner = self.ring.server_for(key)
+        return owner
+
+    def use_before_yield_only(self, sim, key):
+        """Pre-yield uses of a fresh binding are fine (L008)."""
+        owner = self.ring.server_for(key)
+        self.audit(owner)
+        yield sim.timeout(1.0)
+
+    def stable_terminal_alias(self, sim):
+        """Chains ending in a STABLE_ATTRS name are exempt (L008)."""
+        clock = self.cluster.sim
+        yield clock.timeout(1.0)
+        return clock.now
+
+    def destructive_read(self, sim):
+        """``pop`` removes the value: the local cannot go stale (L008)."""
+        job = self._pending.pop(7, None)
+        yield sim.timeout(1.0)
+        return job
+
+
+def released_on_all_paths(pool, cond):
+    """Both branches release: no leak (L009)."""
+    buf = pool.get()
+    if cond:
+        buf.write(b"x")
+        buf.release()
+    else:
+        buf.release()
+
+
+def released_in_finally(pool):
+    """Exception edges land in the finally, which releases (L009)."""
+    buf = pool.get()
+    try:
+        buf.write(b"payload")
+    finally:
+        buf.release()
+
+
+def ownership_handoff(pool, ep):
+    """Passing the buffer onward transfers ownership (L009)."""
+    buf = pool.get()
+    ep.post_recv_buffer(buf)
+
+
+def returned_to_caller(pool):
+    """Returning the buffer transfers ownership too (L009)."""
+    buf = pool.get()
+    buf.write(b"warm")
+    return buf
+
+
+def legal_qp_bringup(qp, tear_down):
+    """INIT -> RTS and any -> ERROR follow the table (L010)."""
+    qp.state = QpState.INIT
+    qp.state = QpState.RTS
+    if tear_down:
+        qp.state = QpState.ERROR
+        qp.state = QpState.RESET
+
+
+def finally_protected_hold(sim, res):
+    """The fixed shape of every call site in the tree (L011)."""
+    req = res.request()
+    try:
+        yield req
+        yield sim.timeout(5.0)
+    finally:
+        res.release(req)
+
+
+def no_yield_while_held(sim, res):
+    """Yields after the release window need no protection (L011)."""
+    req = res.request()
+    try:
+        yield req
+    finally:
+        res.release(req)
+    yield sim.timeout(1.0)

@@ -1,0 +1,38 @@
+"""Seeded L008 hazards: shared-state locals used across a yield.
+
+Each ``HAZARD`` marker comment sits on the exact line the rule must
+report.  This module is excluded from tree-wide lint sweeps (the
+``lint_fixtures`` directory is in ``SKIP_DIRS``) and linted explicitly by
+tests/lint/test_flow_rules.py.
+"""
+
+
+class Router:
+    """Process methods that cache ring/store state across yields."""
+
+    def route_with_stale_owner(self, sim, key):
+        """The routing decision is made before the wait, acted on after."""
+        owner = self.ring.server_for(key)
+        yield sim.timeout(1.0)
+        return owner  # HAZARD: L008
+
+    def alias_ring_nodes(self, sim):
+        """A bare chain alias read after the scheduling boundary."""
+        nodes = self.ring._nodes
+        yield sim.timeout(1.0)
+        return len(nodes)  # HAZARD: L008
+
+    def subscript_health_entry(self, sim, name):
+        """A subscript read of the failover table crossing a yield."""
+        health = self._health[name]
+        if health is None:
+            return None
+        yield sim.timeout(2.0)
+        return health  # HAZARD: L008
+
+    def stale_only_on_one_branch(self, sim, key, fast):
+        """Any-path polarity: one branch yields, the other does not."""
+        owner = self.ring.server_for(key)
+        if not fast:
+            yield sim.timeout(1.0)
+        return owner  # HAZARD: L008

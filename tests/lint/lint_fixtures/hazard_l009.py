@@ -1,0 +1,38 @@
+"""Seeded L009 hazards: pooled-buffer leaks and use-after-release.
+
+Each ``HAZARD`` marker comment sits on the exact line the rule must
+report (the acquire statement for leaks, the offending read for
+use-after-release).
+"""
+
+
+def leak_on_else_path(pool, important):
+    """Released on one branch only: the fall-through path leaks."""
+    buf = pool.get()  # HAZARD: L009
+    if important:
+        buf.release()
+
+
+def use_after_release(pool):
+    """Classic temporal violation, caught statically."""
+    buf = pool.get()
+    buf.release()
+    buf.write(b"late")  # HAZARD: L009
+
+
+def leak_past_loop_break(pool, frames):
+    """The break path exits the function with the buffer still held."""
+    buf = pool.get()  # HAZARD: L009
+    for frame in frames:
+        if frame.poison:
+            break
+        buf.write(frame.data)
+    else:
+        buf.release()
+
+
+def double_release(pool):
+    """The second release is a use of a released buffer."""
+    buf = pool.get()
+    buf.release()
+    buf.release()  # HAZARD: L009

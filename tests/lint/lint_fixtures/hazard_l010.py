@@ -1,0 +1,29 @@
+"""Seeded L010 hazards: QP state writes off the legal transition table.
+
+Each ``HAZARD`` marker comment sits on the exact line of the illegal
+write (the first write in a function is unchecked -- the analysis cannot
+know the inbound state).
+"""
+
+from repro.verbs.enums import QpState
+
+
+def demote_running_qp(qp):
+    """RTS -> INIT is not in LEGAL_QP_TRANSITIONS."""
+    qp.state = QpState.RTS
+    qp.state = QpState.INIT  # HAZARD: L010
+
+
+def resurrect_without_reset(qp):
+    """ERROR may only go back through RESET, never straight to RTS."""
+    qp.state = QpState.ERROR
+    qp.state = QpState.RTS  # HAZARD: L010
+
+
+def illegal_on_one_branch(qp, flaky):
+    """Any-path: INIT -> RTS is fine, but the ERROR branch makes the
+    final write reachable from ERROR as well."""
+    qp.state = QpState.INIT
+    if flaky:
+        qp.state = QpState.ERROR
+    qp.state = QpState.RTS  # HAZARD: L010

@@ -1,0 +1,35 @@
+"""Seeded L011 hazards: grants held across yields without try/finally.
+
+Each ``HAZARD`` marker comment sits on the exact line of the acquire
+whose grant can be orphaned by ``Process.interrupt``.
+"""
+
+
+def unprotected_hold(sim, res):
+    """The classic shape every fixed call site in the tree used to have."""
+    req = res.request()  # HAZARD: L011
+    yield req
+    yield sim.timeout(5.0)
+    res.release(req)
+
+
+def protected_late(sim, res):
+    """The grant yield itself is outside the try: still interruptible
+    while queued (``Resource.release`` cancels pending requests)."""
+    req = res.request()  # HAZARD: L011
+    yield req
+    try:
+        yield sim.timeout(5.0)
+    finally:
+        res.release(req)
+
+
+def wrong_finally(sim, res, other):
+    """A finally that releases a *different* request does not protect."""
+    token = other.request()
+    req = res.request()  # HAZARD: L011
+    try:
+        yield req
+        yield sim.timeout(5.0)
+    finally:
+        other.release(token)

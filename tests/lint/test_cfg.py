@@ -1,0 +1,308 @@
+"""Per-function CFG construction: shape units and structural properties."""
+
+import ast
+import textwrap
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.cfg import build_cfg, iter_function_cfgs, walk_same_scope
+
+
+def _cfg(source):
+    tree = ast.parse(textwrap.dedent(source))
+    func = next(
+        n for n in ast.walk(tree)
+        if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+    )
+    return func, build_cfg(func)
+
+
+def _own_statements(func):
+    """The statements a CFG of *func* must own: same scope, minus *func*."""
+    return [
+        n for n in walk_same_scope(func)
+        if isinstance(n, ast.stmt) and n is not func
+    ]
+
+
+# ---------------------------------------------------------------- units
+
+
+def test_straight_line_chain():
+    _, cfg = _cfg(
+        """
+        def f():
+            a = 1
+            b = a + 1
+            return b
+        """
+    )
+    nodes = cfg.statement_nodes()
+    assert [n.label for n in nodes] == ["Assign", "Assign", "Return"]
+    assert cfg.nodes[cfg.entry].succs == {nodes[0].index}
+    assert nodes[-1].succs == {cfg.exit}
+
+
+def test_if_else_reconverges():
+    _, cfg = _cfg(
+        """
+        def f(x):
+            if x:
+                a = 1
+            else:
+                a = 2
+            return a
+        """
+    )
+    header = next(n for n in cfg.statement_nodes() if n.label == "if")
+    ret = next(n for n in cfg.statement_nodes() if n.label == "Return")
+    assert len(header.succs) == 2  # both branches enter from the test
+    assert len(ret.preds) == 2  # and reconverge at the return
+
+
+def test_if_without_else_falls_through():
+    _, cfg = _cfg(
+        """
+        def f(x):
+            if x:
+                a = 1
+            return x
+        """
+    )
+    header = next(n for n in cfg.statement_nodes() if n.label == "if")
+    ret = next(n for n in cfg.statement_nodes() if n.label == "Return")
+    assert ret.preds >= {header.index}  # false edge skips the body
+
+
+def test_while_loop_back_edge_and_break():
+    _, cfg = _cfg(
+        """
+        def f(x):
+            while x:
+                if x > 2:
+                    break
+                x -= 1
+            return x
+        """
+    )
+    header = next(n for n in cfg.statement_nodes() if n.label == "while")
+    brk = next(n for n in cfg.statement_nodes() if n.label == "Break")
+    ret = next(n for n in cfg.statement_nodes() if n.label == "Return")
+    assert header.index in cfg.nodes[max(header.preds)].succs  # back edge
+    assert ret.index in brk.succs  # break jumps past the loop
+    assert ret.index in header.succs  # normal exit on a false test
+
+
+def test_continue_targets_the_header():
+    _, cfg = _cfg(
+        """
+        def f(xs):
+            for x in xs:
+                if x:
+                    continue
+                use(x)
+        """
+    )
+    header = next(n for n in cfg.statement_nodes() if n.label == "for")
+    cont = next(n for n in cfg.statement_nodes() if n.label == "Continue")
+    assert cont.succs == {header.index}
+
+
+def test_try_finally_carries_exception_edges():
+    _, cfg = _cfg(
+        """
+        def f():
+            try:
+                risky()
+            finally:
+                cleanup()
+        """
+    )
+    risky = next(
+        n for n in cfg.statement_nodes()
+        if n.label == "Expr" and "risky" in ast.unparse(n.stmt)
+    )
+    cleanup = next(
+        n for n in cfg.statement_nodes()
+        if n.label == "Expr" and "cleanup" in ast.unparse(n.stmt)
+    )
+    assert cleanup.index in risky.succs  # normal AND exceptional entry
+    assert risky.finallies  # structurally protected
+    assert not cleanup.finallies  # the finally body itself is not
+
+
+def test_handler_body_still_reaches_the_finally():
+    _, cfg = _cfg(
+        """
+        def f():
+            try:
+                risky()
+            except ValueError:
+                handle()
+            finally:
+                cleanup()
+        """
+    )
+    handle = next(
+        n for n in cfg.statement_nodes()
+        if n.label == "Expr" and "handle" in ast.unparse(n.stmt)
+    )
+    cleanup = next(
+        n for n in cfg.statement_nodes()
+        if n.label == "Expr" and "cleanup" in ast.unparse(n.stmt)
+    )
+    assert cleanup.index in handle.succs
+    assert handle.finallies  # a raise in the handler runs the finally
+
+
+def test_yield_and_yield_from_mark_nodes():
+    _, cfg = _cfg(
+        """
+        def f(sim, other):
+            x = 1
+            yield sim.timeout(1.0)
+            yield from other()
+            return x
+        """
+    )
+    assert cfg.is_generator
+    assert [n.label for n in cfg.yield_nodes()] == ["Expr", "Expr"]
+    assert len(cfg.yield_nodes()) == 2
+
+
+def test_nested_def_is_opaque():
+    func, cfg = _cfg(
+        """
+        def f():
+            def inner():
+                yield 1
+            return inner
+        """
+    )
+    assert not cfg.is_generator  # inner's yield is not f's
+    labels = [n.label for n in cfg.statement_nodes()]
+    assert labels == ["FunctionDef", "Return"]
+
+
+def test_with_block_and_return_inside_loop():
+    _, cfg = _cfg(
+        """
+        def f(xs, lock):
+            for x in xs:
+                with lock:
+                    if x:
+                        return x
+            return None
+        """
+    )
+    returns = [n for n in cfg.statement_nodes() if n.label == "Return"]
+    assert all(cfg.exit in n.succs for n in returns)
+
+
+# ----------------------------------------------------------- properties
+
+
+_NAMES = st.sampled_from(["a", "b", "c"])
+
+
+@st.composite
+def _simple_stmt(draw):
+    name = draw(_NAMES)
+    kind = draw(st.sampled_from(["assign", "expr", "yield", "pass", "aug"]))
+    return {
+        "assign": f"{name} = 1",
+        "expr": f"use({name})",
+        "yield": f"yield {name}",
+        "pass": "pass",
+        "aug": f"{name} += 1",
+    }[kind]
+
+
+def _indent(block):
+    return ["    " + line for line in block]
+
+
+@st.composite
+def _block(draw, depth):
+    """A random statement block as a list of source lines."""
+    lines = []
+    for _ in range(draw(st.integers(min_value=1, max_value=3))):
+        kind = draw(
+            st.sampled_from(
+                ["simple", "if", "ifelse", "while", "for", "tryfinally", "tryexcept"]
+                if depth > 0
+                else ["simple"]
+            )
+        )
+        if kind == "simple":
+            lines.append(draw(_simple_stmt()))
+        elif kind == "if":
+            lines.append(f"if {draw(_NAMES)}:")
+            lines += _indent(draw(_block(depth - 1)))
+        elif kind == "ifelse":
+            lines.append(f"if {draw(_NAMES)}:")
+            lines += _indent(draw(_block(depth - 1)))
+            lines.append("else:")
+            lines += _indent(draw(_block(depth - 1)))
+        elif kind == "while":
+            lines.append(f"while {draw(_NAMES)}:")
+            body = draw(_block(depth - 1))
+            if draw(st.booleans()):
+                body = body + [draw(st.sampled_from(["break", "continue"]))]
+            lines += _indent(body)
+        elif kind == "for":
+            lines.append(f"for {draw(_NAMES)} in xs:")
+            lines += _indent(draw(_block(depth - 1)))
+        elif kind == "tryfinally":
+            lines.append("try:")
+            lines += _indent(draw(_block(depth - 1)))
+            lines.append("finally:")
+            lines += _indent(draw(_block(depth - 1)))
+        else:
+            lines.append("try:")
+            lines += _indent(draw(_block(depth - 1)))
+            lines.append("except ValueError:")
+            lines += _indent(draw(_block(depth - 1)))
+    return lines
+
+
+@st.composite
+def _programs(draw):
+    body = draw(_block(depth=2))
+    if draw(st.booleans()):
+        body.append("return a")
+    return "def f(xs, a, b, c):\n" + "\n".join(_indent(body)) + "\n"
+
+
+@settings(max_examples=80, deadline=None)
+@given(_programs())
+def test_cfg_structural_invariants(source):
+    """Every statement is exactly one node; edges are symmetric; the
+    entry reaches the exit."""
+    tree = ast.parse(source)
+    for func, cfg in iter_function_cfgs(tree):
+        stmts = _own_statements(func)
+        nodes = cfg.statement_nodes()
+        # Bijection: every statement owned by exactly one node.
+        assert len(stmts) == len(nodes)
+        assert {id(s) for s in stmts} == {id(n.stmt) for n in nodes}
+        # node_of is the inverse view.
+        for stmt in stmts:
+            assert cfg.node_of(stmt).stmt is stmt
+        # Edge symmetry and index validity.
+        for node in cfg.nodes:
+            for succ in node.succs:
+                assert 0 <= succ < len(cfg.nodes)
+                assert node.index in cfg.nodes[succ].preds
+            for pred in node.preds:
+                assert node.index in cfg.nodes[pred].succs
+        # The entry reaches the exit (no function runs forever... here).
+        assert cfg.exit in cfg.reachable()
+        # Yield marking matches a direct scan of the statements.
+        direct = sum(
+            1
+            for n in walk_same_scope(func)
+            if isinstance(n, (ast.Yield, ast.YieldFrom))
+        )
+        assert sum(len(n.yields) for n in cfg.nodes) == direct

@@ -4,6 +4,8 @@ The suite-wide ``sanitizers`` fixture (tests/conftest.py) installs a
 strict buffer sanitizer, so these tests drive real pools through real
 violations and assert the sanitizer fires.
 """
+# repro-lint: disable-file=L009 -- every test here commits a deliberate
+# buffer-lifecycle violation to prove the *runtime* sanitizer catches it.
 
 import pytest
 

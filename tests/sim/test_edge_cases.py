@@ -61,7 +61,8 @@ def test_interrupt_while_holding_resource_then_release():
     res = Resource(sim, capacity=1)
 
     def holder():
-        req = res.request()
+        # The manual catch-then-release shape is this test's subject.
+        req = res.request()  # repro-lint: disable=L011 -- exercises explicit release after a caught interrupt
         yield req
         try:
             yield sim.timeout(1000.0)
@@ -79,8 +80,10 @@ def test_interrupt_while_holding_resource_then_release():
 
     def waiter():
         req = res.request()
-        yield req
-        res.release(req)
+        try:
+            yield req
+        finally:
+            res.release(req)
         return sim.now
 
     w = sim.process(waiter())

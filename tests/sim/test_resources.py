@@ -25,10 +25,12 @@ def test_resource_release_wakes_fifo():
 
     def worker(tag, hold):
         req = res.request()
-        yield req
-        order.append((tag, sim.now))
-        yield sim.timeout(hold)
-        res.release(req)
+        try:
+            yield req
+            order.append((tag, sim.now))
+            yield sim.timeout(hold)
+        finally:
+            res.release(req)
 
     for tag in range(3):
         sim.process(worker(tag, 10.0))
@@ -42,9 +44,11 @@ def test_resource_serializes_work():
 
     def worker(hold):
         req = res.request()
-        yield req
-        yield sim.timeout(hold)
-        res.release(req)
+        try:
+            yield req
+            yield sim.timeout(hold)
+        finally:
+            res.release(req)
 
     for _ in range(5):
         sim.process(worker(4.0))
@@ -58,9 +62,11 @@ def test_resource_parallel_capacity():
 
     def worker(hold):
         req = res.request()
-        yield req
-        yield sim.timeout(hold)
-        res.release(req)
+        try:
+            yield req
+            yield sim.timeout(hold)
+        finally:
+            res.release(req)
 
     for _ in range(4):
         sim.process(worker(7.0))
