@@ -1,0 +1,49 @@
+"""Store hot-path smoke: wall-clock ops/sec with and without pressure.
+
+Wall time is the result (like :mod:`test_bench_micro`): these bound how
+large a pressure experiment is practical, and CI pins the *relative*
+claim that the eviction path stays the same order of magnitude as the
+uncontended path -- an eviction is a hash unlink plus an LRU pop, not a
+scan of the table.
+"""
+
+from repro.memcached.slabs import PAGE_BYTES
+from repro.memcached.store import ItemStore, StoreConfig
+from repro.sim import Simulator
+
+N_OPS = 3_000
+#: 512 distinct keys x ~4.2 KB chunks = a working set about twice the
+#: pressured store's single page.
+VALUE = bytes(4096)
+
+
+def test_bench_store_set_get_uncontended(benchmark):
+    """set+get pairs against a store that never fills."""
+
+    def run():
+        store = ItemStore(Simulator(), StoreConfig(max_bytes=64 * PAGE_BYTES))
+        for i in range(N_OPS):
+            key = f"key{i % 512}"
+            store.set(key, VALUE)
+            assert store.get(key) is not None
+        return store.stats.evictions
+
+    evictions = benchmark(run)
+    assert evictions == 0
+
+
+def test_bench_store_set_get_under_pressure(benchmark):
+    """The same op mix against a one-page store: most sets evict."""
+
+    def run():
+        store = ItemStore(Simulator(), StoreConfig(max_bytes=PAGE_BYTES))
+        for i in range(N_OPS):
+            key = f"key{i % 512}"
+            store.set(key, VALUE)
+            assert store.get(key) is not None
+        return store.stats.evictions
+
+    evictions = benchmark(run)
+    # Only ~240 chunks fit the page, so most sets evict -- and every
+    # eviction is O(1).
+    assert evictions > N_OPS // 4

@@ -45,6 +45,7 @@ def _select_configs(names: Optional[list[str]]) -> list:
 def _cmd_run(args: argparse.Namespace) -> int:
     # Deferred: building clusters pulls in the whole simulator.
     from repro.check.differential import (
+        PRESSURE_STORE_CONFIG,
         differential_run,
         generate_commands,
         replay_concurrent,
@@ -53,14 +54,36 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     configs = _select_configs(args.config)
     failed = False
+    pressure = args.pressure
+    store_config = PRESSURE_STORE_CONFIG if pressure else None
 
-    commands = generate_commands(args.seed, args.sequential_ops)
-    diff = differential_run(commands, seed=args.seed, configs=configs)
+    commands = generate_commands(
+        args.seed,
+        args.sequential_ops,
+        n_keys=32 if pressure else 8,
+        pressure=pressure,
+    )
+    diff = differential_run(
+        commands,
+        seed=args.seed,
+        configs=configs,
+        store_config=store_config,
+        tolerant=pressure,
+    )
     status = "ok" if diff.ok else "MISMATCH"
+    label = "pressure sequential" if pressure else "sequential"
     print(
-        f"sequential: {len(commands)} commands x {len(configs)} configs "
+        f"{label}: {len(commands)} commands x {len(configs)} configs "
         f"(seed {args.seed}): {status}"
     )
+    if pressure:
+        for replay in diff.replays:
+            print(
+                f"  {replay.config:<22} evictions {replay.evictions} "
+                f"reclaimed {replay.reclaimed} oom {replay.oom_errors} "
+                f"slab_moves {replay.slab_moves}"
+            )
+        print(f"  cross-config divergences tolerated: {len(diff.tolerated)}")
     if not diff.ok:
         failed = True
         for replay in diff.replays:
@@ -73,7 +96,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             print(f"  {a} vs {b}: first disagreement at #{index}")
 
     depth = args.pipeline_depth
-    if depth > 1:
+    if depth > 1 and pressure:
+        # The depth-windowed oracle replay has no eviction adoption
+        # (batched ops complete out of order, so there is no single
+        # "before the oracle op" drain point); pressure pipelining is
+        # covered by the concurrent pass below instead.
+        print("pipelined: skipped under --pressure")
+    elif depth > 1:
         print(
             f"pipelined: {len(commands)} commands x {len(configs)} configs "
             f"(depth {depth}, seed {args.seed})"
@@ -103,13 +132,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 n_clients=args.clients,
                 n_servers=args.shards,
                 n_ops=args.ops,
+                n_keys=32 if pressure else 8,
                 chaos=args.chaos,
                 pipeline_depth=d,
+                store_config=store_config,
             )
             verdict = "linearizable" if result.ok else "NOT LINEARIZABLE"
+            extra = (
+                f"  evictions {result.evictions} oom {result.oom_errors} "
+                f"evictable {len(result.check.evictable)}"
+                if pressure
+                else ""
+            )
             print(
                 f"  {result.config:<22} {result.n_records} ops "
-                f"{verdict}  digest {result.digest[:16]}"
+                f"{verdict}  digest {result.digest[:16]}{extra}"
             )
             if not result.ok:
                 failed = True
@@ -120,6 +157,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     from repro.check.differential import (
+        PRESSURE_STORE_CONFIG,
         differential_run,
         dump_mismatch,
         fuzz_parsers,
@@ -129,14 +167,28 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     )
 
     configs = _select_configs(args.config)
+    pressure = args.pressure
+    store_config = PRESSURE_STORE_CONFIG if pressure else None
     failures = 0
     for seed in range(args.seed, args.seed + args.seeds):
-        commands = generate_commands(seed, args.ops)
+        commands = generate_commands(
+            seed, args.ops, n_keys=32 if pressure else 8, pressure=pressure
+        )
         diff = differential_run(
-            commands, seed=seed, configs=configs, mutation=args.mutation
+            commands,
+            seed=seed,
+            configs=configs,
+            mutation=args.mutation,
+            store_config=store_config,
+            tolerant=pressure,
         )
         if diff.ok:
-            print(f"seed {seed}: ok ({len(commands)} commands)")
+            note = ""
+            if pressure:
+                evictions = sum(r.evictions for r in diff.replays)
+                ooms = sum(r.oom_errors for r in diff.replays)
+                note = f", evictions {evictions}, oom {ooms}"
+            print(f"seed {seed}: ok ({len(commands)} commands{note})")
             continue
         failures += 1
         bad = next(
@@ -147,11 +199,15 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
         def failing(sub):
             return not replay_sequential(
-                config, sub, seed=seed, mutation=args.mutation
+                config, sub, seed=seed, mutation=args.mutation,
+                store_config=store_config,
             ).ok
 
         small = shrink_commands(commands, failing)
-        replay = replay_sequential(config, small, seed=seed, mutation=args.mutation)
+        replay = replay_sequential(
+            config, small, seed=seed, mutation=args.mutation,
+            store_config=store_config,
+        )
         path = dump_mismatch(
             f"{args.out}/mismatch-seed{seed}.json",
             seed,
@@ -159,6 +215,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             small,
             replay,
             mutation=args.mutation,
+            pressure=pressure,
         )
         print(f"  {len(small)}-op repro written to {path}")
         for cmd in small:
@@ -183,23 +240,33 @@ def _cmd_shrink(args: argparse.Namespace) -> int:
         shrink_commands,
     )
 
+    from repro.check.differential import PRESSURE_STORE_CONFIG
+
     doc, commands = load_commands(args.repro_file)
     config = _configs_by_name().get(doc["config"])
     if config is None:
         print(f"unknown config {doc['config']!r} in {args.repro_file}", file=sys.stderr)
         return 1
     seed, mutation = doc.get("seed", 42), doc.get("mutation")
+    pressure = doc.get("pressure", False)
+    store_config = PRESSURE_STORE_CONFIG if pressure else None
 
     def failing(sub):
-        return not replay_sequential(config, sub, seed=seed, mutation=mutation).ok
+        return not replay_sequential(
+            config, sub, seed=seed, mutation=mutation, store_config=store_config
+        ).ok
 
     if not failing(commands):
         print(f"{args.repro_file}: no longer fails ({len(commands)} commands) -- fixed?")
         return 0
     small = shrink_commands(commands, failing)
-    replay = replay_sequential(config, small, seed=seed, mutation=mutation)
+    replay = replay_sequential(
+        config, small, seed=seed, mutation=mutation, store_config=store_config
+    )
     out = args.output or args.repro_file.replace(".json", "") + ".min.json"
-    dump_mismatch(out, seed, doc["config"], small, replay, mutation=mutation)
+    dump_mismatch(
+        out, seed, doc["config"], small, replay, mutation=mutation, pressure=pressure
+    )
     print(f"shrunk {len(commands)} -> {len(small)} commands; wrote {out}")
     for cmd in small:
         print(f"  {cmd.op} {cmd.key!r} value={cmd.value!r}")
@@ -229,6 +296,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--config", action="append", metavar="NAME",
         help="restrict to a configuration (repeatable); default: all",
     )
+    run.add_argument(
+        "--pressure", action="store_true",
+        help="memory-pressure mode: 2 MiB stores + slab-edge values "
+        "(eviction-aware oracle, tolerant cross-config comparator)",
+    )
     run.set_defaults(func=_cmd_run)
 
     fuzz = sub.add_parser("fuzz", help="sweep seeds; shrink and dump mismatches")
@@ -242,6 +314,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="TEST-ONLY: inject a named store bug (see MUTATIONS)",
     )
     fuzz.add_argument("--config", action="append", metavar="NAME")
+    fuzz.add_argument(
+        "--pressure", action="store_true",
+        help="fuzz against 2 MiB stores with slab-edge values",
+    )
     fuzz.set_defaults(func=_cmd_fuzz)
 
     shrink = sub.add_parser("shrink", help="re-minimize a dumped repro case")

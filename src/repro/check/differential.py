@@ -48,11 +48,18 @@ from repro.memcached.errors import (
     ServerError,
 )
 from repro.memcached.items import ITEM_HEADER_OVERHEAD
-from repro.memcached.slabs import build_chunk_sizes
+from repro.memcached.slabs import PAGE_BYTES, build_chunk_sizes
+from repro.memcached.store import StoreConfig
 from repro.sim.rng import RngStream
 
 #: A cas token no store ever allocates (tokens count up from 1).
 BOGUS_CAS = 2**61
+
+#: The standard memory-pressure rig: a store two slab pages deep with
+#: the rebalancer on, so the pressure value pool (slab-edge values in
+#: the 8/5/3-chunks-per-page classes) forces evictions, OOMs, and page
+#: reassignment within a few dozen operations.
+PRESSURE_STORE_CONFIG = StoreConfig(max_bytes=2 * PAGE_BYTES, slab_automove=True)
 
 #: The issue's four transports; UCR's active messages are already
 #: structs, the sockets transports each speak text and binary.
@@ -130,6 +137,15 @@ _CONCURRENT_OPS = (
     "append", "prepend", "delete", "incr", "decr", "touch",
 )
 
+#: Pressure workloads drop flush_all (a flush resets occupancy, so LRU
+#: pressure never builds; the plain sequential mode keeps covering
+#: flush) and lean harder on set so one slab class overfills.
+_PRESSURE_OPS = (
+    "set", "set", "set", "set", "get", "get", "gets", "add", "replace",
+    "append", "prepend", "delete", "incr", "decr", "touch", "cas",
+    "sleep",
+)
+
 
 def _value_pool(rng: RngStream) -> list[bytes]:
     """Boundary-heavy values: slab-class edges, counters, text."""
@@ -148,6 +164,28 @@ def _value_pool(rng: RngStream) -> list[bytes]:
     return pool
 
 
+def _pressure_value_pool(rng: RngStream) -> list[bytes]:
+    """Slab-edge values for the memory-pressure rig.
+
+    Most values land at (and a few bytes under) the chunk edge of the
+    class that packs 8 chunks into a 1 MiB page, so on a
+    :data:`PRESSURE_STORE_CONFIG` store that single class overfills and
+    its LRU must evict live victims.  Concentrating on one class is
+    deliberate: spreading values across several large classes calcifies
+    instead (each class pins a page, every other class OOMs with an
+    empty LRU), which exercises only the OOM path -- concat growth into
+    page-less neighbour classes still covers OOM plentifully here.  A
+    few small counter/text values keep incr/append/etc. meaningful.
+    """
+    pool: list[bytes] = [b"41", b"18446744073709551615", b"hello world"]
+    by_density = {PAGE_BYTES // size: size for size in build_chunk_sizes()}
+    size = by_density[8]
+    for delta in (-3, -2, -1, 0, 0, 0):
+        n = size - ITEM_HEADER_OVERHEAD - 6 + delta
+        pool.append(bytes([rng.randint(97, 123)]) * n)
+    return pool
+
+
 def _key_pool(rng: RngStream, n_keys: int) -> list[str]:
     keys = [f"key{i}" for i in range(n_keys)]
     keys.append("k" * 250)      # longest legal key
@@ -161,17 +199,25 @@ def generate_commands(
     n_keys: int = 8,
     concurrent: bool = False,
     with_expiry: bool = True,
+    pressure: bool = False,
 ) -> list[Command]:
     """Draw *n* commands from a seeded stream (bit-for-bit reproducible).
 
     With ``concurrent=True`` the sequence stays inside the
     linearizability checker's op surface (no cas / expiry / flush) so a
-    recorded multi-client history is checkable.
+    recorded multi-client history is checkable.  With ``pressure=True``
+    the value pool switches to slab-edge large values (run against a
+    :data:`PRESSURE_STORE_CONFIG` store to force evictions and OOMs).
     """
     rng = RngStream(seed, "check.generate")
     keys = _key_pool(rng, n_keys)
-    values = _value_pool(rng)
-    ops = _CONCURRENT_OPS if concurrent else _SEQ_OPS
+    values = _pressure_value_pool(rng) if pressure else _value_pool(rng)
+    if concurrent:
+        ops = _CONCURRENT_OPS
+    elif pressure:
+        ops = _PRESSURE_OPS
+    else:
+        ops = _SEQ_OPS
     out: list[Command] = []
     for _ in range(n):
         op = rng.choice(ops)
@@ -354,12 +400,42 @@ def _mutate_delete_lies(store) -> None:
     store.delete = lambda key: orig(key) or True
 
 
+def _mutate_skip_eviction_counter(store) -> None:
+    # The store still evicts under pressure, but silently: neither the
+    # stats counters nor the on_evict hook fire, so the oracle keeps the
+    # victim and the next read of it mismatches.  Exercises the
+    # soundness gate of eviction adoption (verified losses only).
+    store._record_eviction = lambda victim, kind: None
+
+
+def _mutate_double_free_on_rebalance(store) -> None:
+    # Slab-mover use-after-free: a page is reassigned to the needy class
+    # but its chunks are left on the donor's free list too, so both
+    # classes hand out overlapping memory and values corrupt each other.
+    orig = store.slabs.reassign_page
+
+    def reassign(src, dst):
+        """Leaky page move: the donor keeps its moved chunks on the
+        free list (and in its totals), so two classes carve one page."""
+        before = list(src.free_chunks)
+        moved = orig(src, dst)
+        if moved:
+            leaked = [c for c in before if c not in src.free_chunks]
+            src.free_chunks.extend(leaked)
+            src.total_chunks += len(leaked)
+        return moved
+
+    store.slabs.reassign_page = reassign
+
+
 #: name -> patcher(store).  Applied to a live cluster's store by
 #: replay_sequential(mutation=...); TEST-ONLY, never in production paths.
 MUTATIONS: dict[str, Callable] = {
     "incr-off-by-one": _mutate_incr_off_by_one,
     "set-truncates": _mutate_set_truncates,
     "delete-lies": _mutate_delete_lies,
+    "skip-eviction-counter": _mutate_skip_eviction_counter,
+    "double-free-on-rebalance": _mutate_double_free_on_rebalance,
 }
 
 
@@ -378,6 +454,12 @@ class ReplayResult:
     #: (index, actual, expected) triples where client != oracle.
     mismatches: list = field(default_factory=list)
     trace_file: Optional[str] = None
+    #: Store pressure counters at end of run (from ``StoreStats``), so
+    #: pressure tests can assert that evictions demonstrably happened.
+    evictions: int = 0
+    reclaimed: int = 0
+    oom_errors: int = 0
+    slab_moves: int = 0
 
     @property
     def ok(self) -> bool:
@@ -401,14 +483,24 @@ def replay_sequential(
     seed: int = 42,
     mutation: Optional[str] = None,
     trace_path: Optional[str] = None,
+    store_config: Optional[StoreConfig] = None,
 ) -> ReplayResult:
     """Replay *commands* one at a time, comparing every response with
-    the oracle at the client's completion instant."""
+    the oracle at the client's completion instant.
+
+    With a small-capacity *store_config* the run goes through real
+    memory pressure; the oracle stays exact because the store's
+    eviction hook events are adopted (:meth:`ModelMemcached.evict`)
+    before each oracle op, and a SERVER_ERROR backed by a counted OOM
+    is itself the specified outcome.  Adoption is gated on events the
+    store actually reported, so silent key loss still mismatches.
+    """
     name, transport, binary = config
     cluster = _build_cluster(seed=seed)
-    cluster.start_server()
+    cluster.start_server(store_config=store_config or StoreConfig())
+    store = cluster.server.store
     if mutation is not None:
-        MUTATIONS[mutation](cluster.server.store)
+        MUTATIONS[mutation](store)
     client = cluster.client(transport, binary=binary)
     oracle = ModelMemcached(lambda: cluster.sim.now / 1e6)
     result = ReplayResult(config=name)
@@ -417,17 +509,47 @@ def replay_sequential(
     client_map: dict[int, int] = {}
     oracle_map: dict[int, int] = {}
 
+    # Eviction adoption: every key the store destroys under pressure
+    # (LRU eviction, expiry reap, unlink-first loss) queues here and is
+    # drained into the oracle before the matching oracle op runs.
+    pending_evictions: list[str] = []
+    store.on_evict = lambda key, kind: pending_evictions.append(key)
+    oom_seen = store.stats.oom_errors
+
     def driver():
+        nonlocal oom_seen
         for index, cmd in enumerate(commands):
             if cmd.op == "sleep":
                 yield cluster.sim.timeout(cmd.sleep_s * 1_000_000)
                 result.outcomes.append(["sleep", cmd.sleep_s])
                 continue
             actual_raw = yield from _run_client_op(client, cmd, client_cas)
-            # The oracle executes at the client's completion instant: its
-            # clock reads the live simulator, so expiry agrees (integer
-            # seconds vs microsecond latencies).
-            expected_raw = _run_oracle_op(oracle, cmd, oracle_cas)
+            for lost_key in pending_evictions:
+                oracle.evict(lost_key)
+            pending_evictions.clear()
+            oom_now = store.stats.oom_errors
+            if actual_raw == ("error", "server") and oom_now > oom_seen:
+                # The client saw SERVER_ERROR and the store counted an
+                # out-of-memory for this op: under pressure that is the
+                # specified outcome.  The oracle op does not run, but
+                # the key still ends absent -- a failed storage op
+                # unlinks the old item first (or lazily reaps an
+                # expired/flushed one while probing it), so the oracle
+                # must drop it too; otherwise a later flush_all that
+                # pushes the deadline into the future would resurrect a
+                # stale oracle entry the store already reaped.  An OOM
+                # bump behind a *successful* op (a bounced zero-copy
+                # reservation that fell back to the plain path) takes
+                # the normal comparison branch instead.
+                expected_raw = ("error", "server")
+                oracle.evict(cmd.key)
+            else:
+                # The oracle executes at the client's completion
+                # instant: its clock reads the live simulator, so
+                # expiry agrees (integer seconds vs microsecond
+                # latencies).
+                expected_raw = _run_oracle_op(oracle, cmd, oracle_cas)
+            oom_seen = oom_now
             actual = _normalize_outcome(actual_raw, client_map)
             expected = _normalize_outcome(expected_raw, oracle_map)
             result.outcomes.append(actual)
@@ -446,6 +568,10 @@ def replay_sequential(
     else:
         cluster.sim.process(driver())
         cluster.sim.run()
+    result.evictions = store.stats.evictions
+    result.reclaimed = store.stats.reclaimed
+    result.oom_errors = store.stats.oom_errors
+    result.slab_moves = store.stats.slab_moves
     return result
 
 
@@ -585,10 +711,56 @@ class DifferentialResult:
     replays: list[ReplayResult]
     #: Config pairs whose outcome lists differ: (config_a, config_b, index).
     disagreements: list = field(default_factory=list)
+    #: Pressure-mode only: cross-config differences excused as divergent
+    #: eviction histories (same triples as ``disagreements``).
+    tolerated: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.disagreements and all(r.ok for r in self.replays)
+
+
+#: The cas trichotomy: any pair of these can arise from divergent
+#: eviction histories (key presence / token staleness differ per run).
+_CAS_STATES = frozenset({"stored", "exists", "not_found"})
+
+
+def _strip_cas_tokens(outcome):
+    """Erase canonical cas token *numbers* from a normalized outcome.
+
+    Token indices count distinct tokens across the whole replay, so one
+    excess re-store on an already-diverged key shifts the numbering of
+    every later token -- including on keys whose values agree exactly.
+    """
+    if isinstance(outcome, list):
+        return [_strip_cas_tokens(x) for x in outcome]
+    if isinstance(outcome, str) and outcome.startswith("cas#"):
+        return "cas#"
+    return outcome
+
+
+def _absentish(payload) -> bool:
+    """Does this ok-payload read as 'the key was not there'?"""
+    return payload is None or payload is False or payload == "not_found"
+
+
+def _eviction_explains(a, b) -> bool:
+    """Could divergent eviction/OOM histories alone produce this pair?
+
+    Only presence-flavored differences qualify: an OOM error on one
+    side, present-vs-absent, or two cas states.  A value-vs-value
+    difference on a key that never diverged on presence is real
+    corruption and is never excused.
+    """
+    for outcome in (a, b):
+        if outcome[0] == "error" and outcome[1] == "server":
+            return True
+    if a[0] != "ok" or b[0] != "ok":
+        return False
+    va, vb = a[1], b[1]
+    if va in _CAS_STATES and vb in _CAS_STATES:
+        return True
+    return _absentish(va) != _absentish(vb)
 
 
 def differential_run(
@@ -596,20 +768,49 @@ def differential_run(
     seed: int = 42,
     configs=CONFIGS,
     mutation: Optional[str] = None,
+    store_config: Optional[StoreConfig] = None,
+    tolerant: bool = False,
 ) -> DifferentialResult:
     """Replay *commands* through every configuration; compare each with
-    the oracle and all of them with each other."""
+    the oracle and all of them with each other.
+
+    ``tolerant=True`` is the pressure-mode comparator: transports evict
+    different victims (the zero-copy UCR path allocates before the old
+    item is unlinked, and its add/replace existence probe touches the
+    LRU), so cross-config agreement is latched per key -- the first
+    difference on a key must be presence-flavored (see
+    :func:`_eviction_explains`); after that the key's divergence is an
+    accepted fact and later differences on it are excused.  Every
+    replay is still held to exact per-op agreement with its own oracle.
+    """
     replays = [
-        replay_sequential(cfg, commands, seed=seed, mutation=mutation)
+        replay_sequential(
+            cfg, commands, seed=seed, mutation=mutation, store_config=store_config
+        )
         for cfg in configs
     ]
     result = DifferentialResult(replays=replays)
     baseline = replays[0]
     for other in replays[1:]:
+        diverged: set[str] = set()
         for idx, (a, b) in enumerate(zip(baseline.outcomes, other.outcomes)):
-            if a != b:
-                result.disagreements.append((baseline.config, other.config, idx))
+            if a == b:
+                continue
+            pair = (baseline.config, other.config, idx)
+            if not tolerant:
+                result.disagreements.append(pair)
                 break
+            if _strip_cas_tokens(a) == _strip_cas_tokens(b):
+                # Pure token-numbering skew downstream of a divergence.
+                result.tolerated.append(pair)
+                continue
+            key = commands[idx].key
+            if key in diverged or _eviction_explains(a, b):
+                diverged.add(key)
+                result.tolerated.append(pair)
+                continue
+            result.disagreements.append(pair)
+            break
     return result
 
 
@@ -627,6 +828,9 @@ class ConcurrentResult:
     digest: str
     n_records: int
     chaos_log: list = field(default_factory=list)
+    #: Pressure counters summed over all servers (0 when unpressured).
+    evictions: int = 0
+    oom_errors: int = 0
 
     @property
     def ok(self) -> bool:
@@ -642,6 +846,7 @@ def replay_concurrent(
     n_keys: int = 8,
     chaos: bool = False,
     pipeline_depth: int = 1,
+    store_config: Optional[StoreConfig] = None,
 ) -> ConcurrentResult:
     """Drive *n_clients* sharded clients concurrently (optionally under
     a seeded chaos schedule), record the history, check linearizability
@@ -651,19 +856,39 @@ def replay_concurrent(
     commands through ``client.pipeline`` instead of blocking per op;
     every command is still individually recorded, so the checker sees
     the same op surface with wider (batch-granular) intervals.
+
+    With a small-capacity *store_config* the generator switches to the
+    pressure value pool and every server's eviction hook feeds a
+    per-(key, shard) budget into :func:`check_history`: a key may
+    vanish spontaneously at most as many times as its shard reported
+    destroying it, and groups that need the budget come back as
+    ``evictable`` rather than failed.
     """
     name, transport, binary = config
     cluster = _build_cluster(
         n_client_nodes=n_clients, n_servers=n_servers, seed=seed
     )
-    cluster.start_server()
+    cluster.start_server(store_config=store_config or StoreConfig())
+    pressure = store_config is not None
+    evicted: dict[tuple[str, str], int] = {}
+    for server_name, server in cluster.servers.items():
+        def _hook(key, kind, _server=server_name):
+            evicted[(key, _server)] = evicted.get((key, _server), 0) + 1
+
+        server.store.on_evict = _hook
     clients = [
         cluster.sharded_client(transport, client_node=i, binary=binary)
         for i in range(n_clients)
     ]
     per_client = n_ops // n_clients
     streams = [
-        generate_commands(seed * 1000 + i, per_client, n_keys=n_keys, concurrent=True)
+        generate_commands(
+            seed * 1000 + i,
+            per_client,
+            n_keys=n_keys,
+            concurrent=True,
+            pressure=pressure,
+        )
         for i in range(n_clients)
     ]
 
@@ -705,13 +930,15 @@ def replay_concurrent(
         records = list(recorder.records)
         digest = recorder.digest()
 
-    check = check_history(records, by_server=True)
+    check = check_history(records, by_server=True, evicted=evicted)
     return ConcurrentResult(
         config=name if pipeline_depth <= 1 else f"{name}/pipe{pipeline_depth}",
         check=check,
         digest=digest,
         n_records=len(records),
         chaos_log=chaos_log,
+        evictions=sum(s.store.stats.evictions for s in cluster.servers.values()),
+        oom_errors=sum(s.store.stats.oom_errors for s in cluster.servers.values()),
     )
 
 
@@ -829,12 +1056,14 @@ def dump_mismatch(
     commands: list[Command],
     result: ReplayResult,
     mutation: Optional[str] = None,
+    pressure: bool = False,
 ) -> str:
     """Write a JSON repro case; returns the path written."""
     doc = {
         "seed": seed,
         "config": config_name,
         "mutation": mutation,
+        "pressure": pressure,
         "commands": [c.to_json() for c in commands],
         "mismatches": [
             {"index": i, "actual": a, "expected": e}
@@ -857,6 +1086,7 @@ def load_commands(path: str) -> tuple[dict, list[Command]]:
 __all__ = [
     "BOGUS_CAS",
     "CONFIGS",
+    "PRESSURE_STORE_CONFIG",
     "Command",
     "ConcurrentResult",
     "DifferentialResult",

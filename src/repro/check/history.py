@@ -256,6 +256,9 @@ class CheckResult:
     ok: bool
     #: (key, server) groups that failed, with a human-readable reason.
     failures: list[tuple[str, Optional[str], str]] = field(default_factory=list)
+    #: (key, server) groups that linearize *only* by spending eviction
+    #: budget: correct under pressure, ambiguous without it.
+    evictable: list[tuple[Optional[str], Optional[str]]] = field(default_factory=list)
     #: Number of (key, server) sub-histories checked.
     groups: int = 0
     #: Total operations examined.
@@ -366,16 +369,22 @@ def _transition(rec: OpRecord, state: Optional[bytes]):
     raise ValueError(f"op {op!r} not supported by the checker")
 
 
-def _check_group(records: list[OpRecord]) -> Optional[str]:
+def _check_group(records: list[OpRecord], evict_budget: int = 0) -> Optional[str]:
     """Check one (key, server) sub-history; None if linearizable, else a
     reason string.
 
     Iterative Wing--Gong search: a depth-first walk over partial
     linearizations, where the next operation must be *minimal* (invoked
     before every other pending operation's completion), memoized on
-    (set-of-linearized-ops, register state).  Worst case is exponential
-    in the concurrency width; with memoization it is linear in history
-    length for sequential segments.
+    (set-of-linearized-ops, register state, evictions spent).  Worst
+    case is exponential in the concurrency width; with memoization it is
+    linear in history length for sequential segments.
+
+    *evict_budget* is the eviction-aware specification: the store
+    reported destroying this key's value that many times (LRU eviction,
+    expired reap or unlink-first loss), so the search may spontaneously
+    drop the register to None up to that many times, at any point --
+    evictions are server-internal and carry no client-visible interval.
     """
     n = len(records)
     if n == 0:
@@ -383,17 +392,20 @@ def _check_group(records: list[OpRecord]) -> Optional[str]:
     inv = [r.invoked_us for r in records]
     comp = [r.completion_instant for r in records]
 
-    seen: set[tuple[frozenset, Optional[bytes]]] = set()
-    # Each stack entry: (done frozenset, state).
-    stack: list[tuple[frozenset, Optional[bytes]]] = [(frozenset(), None)]
+    seen: set[tuple[frozenset, Optional[bytes], int]] = set()
+    # Each stack entry: (done frozenset, state, evictions spent).
+    stack: list[tuple[frozenset, Optional[bytes], int]] = [(frozenset(), None, 0)]
     while stack:
-        done, state = stack.pop()
+        done, state, spent = stack.pop()
         if len(done) == n:
             return None
-        key_ = (done, state)
+        key_ = (done, state, spent)
         if key_ in seen:
             continue
         seen.add(key_)
+        if state is not None and spent < evict_budget:
+            # Spend one store-reported eviction: the register drops.
+            stack.append((done, None, spent + 1))
         pending = [i for i in range(n) if i not in done]
         horizon = min(comp[i] for i in pending)
         for i in pending:
@@ -402,25 +414,31 @@ def _check_group(records: list[OpRecord]) -> Optional[str]:
             rec = records[i]
             if rec.status == "lost":
                 # Branch 1: the request never executed.
-                stack.append((done | {i}, state))
+                stack.append((done | {i}, state, spent))
                 # Branch 2: it executed (at some admissible point).
                 # Invalid keys have no effect branch: validation rejects
                 # the op before it touches state.
                 if not _invalid_key(rec.key):
-                    stack.append((done | {i}, _effect(rec.op, rec.args, state)))
+                    stack.append(
+                        (done | {i}, _effect(rec.op, rec.args, state), spent)
+                    )
             else:
                 ok, new_state = _transition(rec, state)
                 if ok:
-                    stack.append((done | {i}, new_state))
+                    stack.append((done | {i}, new_state, spent))
     first = records[0]
+    budget_note = f" (eviction budget {evict_budget})" if evict_budget else ""
     return (
         f"no linearization explains {n} ops on key {first.key!r}"
-        f" (server {first.server}); first op: {first.op} by client {first.client}"
+        f" (server {first.server}){budget_note};"
+        f" first op: {first.op} by client {first.client}"
     )
 
 
 def check_history(
-    records: Iterable[OpRecord], by_server: bool = True
+    records: Iterable[OpRecord],
+    by_server: bool = True,
+    evicted: Optional[dict[tuple[Optional[str], Optional[str]], int]] = None,
 ) -> CheckResult:
     """Check a recorded multi-client history for per-key linearizability.
 
@@ -429,6 +447,15 @@ def check_history(
     land on different shards, and each shard is its own register.  Pass
     ``by_server=False`` for single-server histories where rerouting
     would itself be a bug.
+
+    *evicted* maps ``(key, server)`` to the number of times the store
+    reported destroying that key's value under memory pressure (from
+    the ``ItemStore.on_evict`` hook).  A group that only linearizes by
+    spending that budget gets the **evictable** verdict: it is listed in
+    ``CheckResult.evictable`` but still passes.  Every group is first
+    checked with budget 0, so the verdict distinguishes plainly
+    linearizable histories from pressure-ambiguous ones -- and a missing
+    key with *no* reported eviction remains a hard failure.
     """
     groups: dict[tuple, list[OpRecord]] = {}
     ops = 0
@@ -453,7 +480,12 @@ def check_history(
     for (key, server), recs in sorted(groups.items(), key=lambda kv: str(kv[0])):
         recs.sort(key=lambda r: (r.invoked_us, r.op_id))
         reason = _check_group(recs)
-        if reason is not None:
-            result.ok = False
-            result.failures.append((key, server, reason))
+        if reason is None:
+            continue
+        budget = (evicted or {}).get((key, server if by_server else None), 0)
+        if budget > 0 and _check_group(recs, evict_budget=budget) is None:
+            result.evictable.append((key, server))
+            continue
+        result.ok = False
+        result.failures.append((key, server, reason))
     return result

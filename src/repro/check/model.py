@@ -32,20 +32,13 @@ from repro.memcached.store import (
 
 #: Where the model knowingly differs from :class:`ItemStore`.  Each entry
 #: is (name, description); ``docs/CHECKING.md`` renders this list.
+#:
+#: Memory pressure is NOT on this list any more: the model still never
+#: evicts *spontaneously*, but the replay layer adopts the store's
+#: reported eviction/loss events through :meth:`ModelMemcached.evict`
+#: and expects SERVER_ERROR where the store counted an OOM, so pressure
+#: workloads verify exactly (see docs/CHECKING.md).
 MODEL_DIVERGENCES: list[tuple[str, str]] = [
-    (
-        "no-eviction",
-        "The model never evicts: a set that would trigger LRU eviction in "
-        "the store succeeds in both but later gets may hit in the model "
-        "and miss in the store.  Differential workloads stay far below "
-        "store capacity (64 MiB default) so this path never triggers.",
-    ),
-    (
-        "no-oom",
-        "With evictions disabled (-M), the store raises SERVER_ERROR "
-        "'out of memory storing object' under pressure; the model never "
-        "does.  Only the per-item 1 MiB bound is modelled.",
-    ),
     (
         "no-stats",
         "stats/stats slabs/stats items counters are not modelled; the "
@@ -147,6 +140,19 @@ class ModelMemcached:
             return None
         return item
 
+    def _store_unlink_first(
+        self, key: str, value: bytes, flags: int, exptime: float
+    ) -> None:
+        """A replacing store, mirroring memcached's unlink-first order:
+        the store unlinks the old item before allocating the new one, so
+        a too-large value destroys the old entry *and* raises."""
+        try:
+            self._check_size(key, value)
+        except ServerError:
+            self._items.pop(key, None)
+            raise
+        self._store(key, value, flags, exptime)
+
     def _store(self, key: str, value: bytes, flags: int, exptime: float) -> None:
         self._check_size(key, value)
         self._items[key] = ModelItem(
@@ -163,7 +169,7 @@ class ModelMemcached:
     def set(self, key: str, value: bytes, flags: int = 0, exptime: float = 0) -> str:
         """Unconditional store."""
         self._validate_key(key)
-        self._store(key, value, flags, exptime)
+        self._store_unlink_first(key, value, flags, exptime)
         return "stored"
 
     def add(self, key: str, value: bytes, flags: int = 0, exptime: float = 0) -> str:
@@ -179,7 +185,7 @@ class ModelMemcached:
         self._validate_key(key)
         if self._live(key) is None:
             return "not_stored"
-        self._store(key, value, flags, exptime)
+        self._store_unlink_first(key, value, flags, exptime)
         return "stored"
 
     def _concat(self, key: str, data: bytes, append: bool) -> str:
@@ -188,7 +194,13 @@ class ModelMemcached:
         if item is None:
             return "not_stored"
         combined = item.value + data if append else data + item.value
-        self._check_size(key, combined)
+        try:
+            self._check_size(key, combined)
+        except ServerError:
+            # Unlink-first order: the store drops the old item before
+            # re-allocating, so a too-large concat destroys it too.
+            self._items.pop(key, None)
+            raise
         # The store re-allocates but keeps the (already absolute) exptime.
         exptime, flags = item.exptime, item.flags
         self._items[key] = ModelItem(
@@ -217,7 +229,7 @@ class ModelMemcached:
             return "not_found"
         if item.cas != cas_token:
             return "exists"
-        self._store(key, value, flags, exptime)
+        self._store_unlink_first(key, value, flags, exptime)
         return "stored"
 
     # -- retrieval ----------------------------------------------------------------
@@ -285,6 +297,21 @@ class ModelMemcached:
 
     def flush_all(self, delay_seconds: float = 0.0) -> None:
         self._flush_before = self.now_seconds() + delay_seconds
+
+    # -- eviction adoption (the pressure-aware specification) ---------------------
+
+    def evict(self, key: str) -> bool:
+        """Adopt a store-reported eviction: *key*'s value is gone.
+
+        The model never evicts on its own -- it has idealized memory.
+        Under pressure the replay layer forwards the store's eviction
+        hook events here *before* running the next operation, turning
+        "missing key" from a divergence into the specified outcome.
+        Soundness: adoption is gated on events the store actually
+        reported (and counted in ``StoreStats``), so a store that loses
+        keys without reporting them still fails verification.
+        """
+        return self._items.pop(key, None) is not None
 
     # -- introspection (tests) ----------------------------------------------------
 

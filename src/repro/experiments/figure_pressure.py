@@ -1,0 +1,147 @@
+"""Memory pressure sweep: hit rate and TPS vs cache capacity.
+
+Not a figure from the paper: the paper's benchmarks size the cache to
+the workload, so the store never evicts.  This experiment measures the
+regime the eviction-aware checking work makes trustworthy -- a working
+set *larger* than RAM.  A fixed 40-key universe of slab-class-32 values
+(8 chunks per 1 MiB page, ~5 pages of working set) runs the 10% set /
+90% get mix against stores from comfortably oversized down to a quarter
+of the working set, on the RDMA path and the fastest sockets path.
+
+The shape claims: with capacity above the working set the hit rate is
+exactly 1.0 and the store never evicts; shrinking capacity below the
+working set produces real LRU evictions and a monotonically falling hit
+rate (uniform popularity: roughly resident-fraction); throughput stays
+finite throughout because an eviction is just a store-side unlink, not
+a slow path.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import FigureSeries
+from repro.cluster.builder import Cluster
+from repro.cluster.configs import CLUSTER_A
+from repro.experiments.common import ExperimentReport
+from repro.memcached.slabs import PAGE_BYTES
+from repro.memcached.store import StoreConfig
+from repro.workloads.keys import KeyChooser
+from repro.workloads.memslap import MemslapRunner
+from repro.workloads.patterns import NON_INTERLEAVED_10_90
+
+#: The RDMA path and the best non-IB sockets path.
+TRANSPORTS = ["UCR-IB", "10GigE-TOE"]
+#: Store capacity in slab pages, largest (working set fits) first.
+CAPACITY_PAGES = [8, 4, 3, 2]
+#: 40 class-32 items (8 per page) = a 5-page working set.
+N_KEYS = 40
+VALUE_SIZE = 120_000
+
+
+def _hit_rate(result) -> float:
+    """Fraction of timed gets answered with a hit."""
+    n_gets = sum(1 for op in NON_INTERLEAVED_10_90.ops(result.total_ops)
+                 if op == "get")
+    if n_gets == 0:
+        return 1.0
+    return 1.0 - result.get_misses / n_gets
+
+
+def _capacity_table(hit_series, tps_series, evict_series) -> str:
+    title = (f"{N_KEYS} x {VALUE_SIZE // 1000}KB working set: "
+             "hit rate / TPS / evictions vs capacity")
+    lines = [title, "=" * len(title)]
+    header = f"{'pages':>8} "
+    for s in hit_series:
+        header += f"{s.label + ' hit':>16}{s.label + ' TPS':>16}{'evict':>8}"
+    lines.append(header)
+    for pages in CAPACITY_PAGES:
+        row = f"{pages:>8} "
+        for hit, tps, ev in zip(hit_series, tps_series, evict_series):
+            row += (f"{hit.value_at(pages):>16.3f}"
+                    f"{tps.value_at(pages) / 1000.0:>15.0f}K"
+                    f"{ev.value_at(pages):>8.0f}")
+        lines.append(row)
+    lines.append("(uniform gets; hit rate tracks the resident fraction)")
+    return "\n".join(lines)
+
+
+def run(fast: bool = False) -> ExperimentReport:
+    """Reproduce the memory-pressure sweep; see module docstring."""
+    n_ops = 120 if fast else 400
+    report = ExperimentReport(
+        figure="pressure",
+        description=f"hit rate and TPS vs cache capacity, "
+        f"{N_KEYS} x {VALUE_SIZE // 1000}KB working set, 10/90 set/get",
+    )
+
+    hit_series: list[FigureSeries] = []
+    tps_series: list[FigureSeries] = []
+    evict_series: list[FigureSeries] = []
+    for transport in TRANSPORTS:
+        hits = FigureSeries(label=transport)
+        tps = FigureSeries(label=transport)
+        evictions = FigureSeries(label=transport)
+        for pages in CAPACITY_PAGES:
+            # A fresh cluster per point: capacity must be the only
+            # variable (no resident set leaking across points).
+            cluster = Cluster(CLUSTER_A, n_client_nodes=1, seed=42)
+            cluster.start_server(
+                store_config=StoreConfig(
+                    max_bytes=pages * PAGE_BYTES, slab_automove=True
+                )
+            )
+            runner = MemslapRunner(
+                cluster,
+                transport,
+                value_size=VALUE_SIZE,
+                pattern=NON_INTERLEAVED_10_90,
+                n_clients=1,
+                n_ops_per_client=n_ops,
+                keys=KeyChooser(
+                    mode="uniform", key_space=N_KEYS, prefix="pressure"
+                ),
+                tolerate_failures=True,  # misses are the measurement
+            )
+            result = runner.run()
+            report.raw.append(result)
+            hits.add(pages, _hit_rate(result))
+            tps.add(pages, result.tps)
+            evictions.add(pages, cluster.server.store.stats.evictions)
+        hit_series.append(hits)
+        tps_series.append(tps)
+        evict_series.append(evictions)
+
+    largest, smallest = CAPACITY_PAGES[0], CAPACITY_PAGES[-1]
+    for hits, tps, evictions in zip(hit_series, tps_series, evict_series):
+        label = hits.label
+        report.check(
+            f"{label}: capacity above the working set never misses or evicts",
+            hits.value_at(largest) == 1.0 and evictions.value_at(largest) == 0,
+            f"hit {hits.value_at(largest):.3f}, "
+            f"{evictions.value_at(largest):.0f} evictions at {largest} pages",
+        )
+        rates = [hits.value_at(p) for p in CAPACITY_PAGES]
+        report.check(
+            f"{label}: hit rate falls monotonically as capacity shrinks",
+            all(a >= b for a, b in zip(rates, rates[1:])),
+            " -> ".join(f"{r:.3f}" for r in rates),
+        )
+        report.check(
+            f"{label}: a quarter-sized cache evicts for real",
+            evictions.value_at(smallest) > 0 and hits.value_at(smallest) < 1.0,
+            f"{evictions.value_at(smallest):.0f} evictions, "
+            f"hit {hits.value_at(smallest):.3f} at {smallest} pages",
+        )
+        report.check(
+            f"{label}: throughput stays finite under pressure",
+            all(tps.value_at(p) > 0 for p in CAPACITY_PAGES),
+            f"{tps.value_at(smallest) / 1000.0:.0f}K TPS at {smallest} pages",
+        )
+
+    report.panels["hit_rate_vs_capacity"] = hit_series
+    report.panels["tps_vs_capacity"] = tps_series
+    report.panels["evictions_vs_capacity"] = evict_series
+    report.tables.append(
+        _capacity_table(hit_series, tps_series, evict_series)
+    )
+    return report

@@ -23,6 +23,7 @@ from repro.experiments import (
     figure6,
     figure_breakdown,
     figure_pipeline,
+    figure_pressure,
 )
 from repro.experiments.common import ExperimentReport
 
@@ -34,6 +35,7 @@ FIGURES: dict[str, Callable[[bool], ExperimentReport]] = {
     "6s": figure6.run_sharded,
     "breakdown": figure_breakdown.run,
     "pipeline": figure_pipeline.run,
+    "pressure": figure_pressure.run,
     "ext": extensions.run,
 }
 

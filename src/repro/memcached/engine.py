@@ -83,6 +83,8 @@ class CommandEngine:
                 return Reply("stats", stats=store.slab_stats_detail())
             if sub == "items":
                 return Reply("stats", stats=store.item_stats_detail())
+            if sub == "settings":
+                return Reply("stats", stats=store.settings_dict())
             return Reply("stats", stats=self.server.stats_dict())
         if op == "version":
             return Reply("version", message=self.server.VERSION)

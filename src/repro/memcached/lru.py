@@ -65,6 +65,38 @@ class LruQueue:
             cursor = cursor.prev
             scanned += 1
 
+    def validate(self) -> list[str]:
+        """Structural integrity check: returns violations (empty = sound).
+
+        Walks the list both ways and cross-checks ``size``, the
+        head/tail sentinels, and every prev/next back-pointer -- the
+        invariants eviction and slab rebalancing lean on.
+        """
+        violations: list[str] = []
+        if (self.head is None) != (self.tail is None):
+            violations.append("head/tail nullity disagrees")
+        if self.head is not None and self.head.prev is not None:
+            violations.append("head has a prev pointer")
+        if self.tail is not None and self.tail.next is not None:
+            violations.append("tail has a next pointer")
+        seen = 0
+        cursor = self.head
+        prev = None
+        while cursor is not None:
+            if cursor.prev is not prev:
+                violations.append(f"broken prev pointer at position {seen}")
+                break
+            seen += 1
+            if seen > self.size + 1:
+                violations.append("forward walk exceeds size (cycle?)")
+                break
+            prev, cursor = cursor, cursor.next
+        if seen != self.size:
+            violations.append(f"size={self.size} but forward walk saw {seen}")
+        if prev is not self.tail and not violations:
+            violations.append("forward walk does not end at tail")
+        return violations
+
     def __len__(self) -> int:
         return self.size
 

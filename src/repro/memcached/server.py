@@ -27,6 +27,7 @@ from repro.memcached.errors import ClientError, ProtocolError, ServerError
 from repro.memcached import protocol
 from repro.memcached import protocol_binary as binp
 from repro.memcached import protocol_ucr as ucrp
+from repro.memcached.command import entry_data
 from repro.memcached.engine import CommandEngine
 from repro.memcached.protocol import Request, RequestParser
 
@@ -289,11 +290,20 @@ class MemcachedServer:
             if reply.status == "error":
                 return protocol.encode_reply(cmd, reply)
             if reply.status == "values":
-                for _key, _flags, item, _cas in reply.values:
+                # Real memcached pins each served item (refcount) until
+                # the response is written out; the simulator snapshots
+                # the value bytes at the linearization point instead, so
+                # the copy/build window below cannot observe a
+                # concurrent free of the item's chunk.
+                reply.values = [
+                    (key, flags, entry_data(data), cas)
+                    for key, flags, data, cas in reply.values
+                ]
+                for _key, _flags, data, _cas in reply.values:
                     # Response assembly copies the value into the
                     # outgoing stream.
-                    if item.value_length:
-                        yield from node.memcpy(item.value_length)
+                    if data:
+                        yield from node.memcpy(len(data))
             yield from node.cpu_run(node.host.cpu_time(costs.response_build_us))
             return protocol.encode_reply(cmd, reply)
         finally:
@@ -324,9 +334,15 @@ class MemcachedServer:
             cmd = binp.request_to_command(msg)
             reply = self.engine.apply(cmd)
             if reply.status == "values" and reply.values:
-                _key, _flags, item, _cas = reply.values[0]
-                if item.value_length:
-                    yield from node.memcpy(item.value_length)
+                # Same item-pinning rule as the text path: snapshot at
+                # the linearization point, then charge the copy.
+                reply.values = [
+                    (key, flags, entry_data(data), cas)
+                    for key, flags, data, cas in reply.values
+                ]
+                _key, _flags, data, _cas = reply.values[0]
+                if data:
+                    yield from node.memcpy(len(data))
             return binp.encode_reply(msg, cmd, reply)
         finally:
             if tracer.enabled:

@@ -126,6 +126,29 @@ class SlabClass:
             return chunk
         return None
 
+    def reclaim_page(self) -> Optional[Page]:
+        """Detach one fully-free page (every chunk on the free list).
+
+        The page's chunks are dropped from this class entirely -- the
+        caller re-carves the page elsewhere -- so any stale reference to
+        them is a use-after-reassign bug.  Returns None when no page of
+        this class is empty.  Lowest page id wins, for determinism.
+        """
+        if self.total_pages == 0 or len(self.free_chunks) < self.chunks_per_page:
+            return None
+        free_by_page: dict[int, list[SlabChunk]] = {}
+        for chunk in self.free_chunks:
+            free_by_page.setdefault(chunk.page.page_id, []).append(chunk)
+        for page_id in sorted(free_by_page):
+            chunks = free_by_page[page_id]
+            if len(chunks) == self.chunks_per_page:
+                page = chunks[0].page
+                self.free_chunks = [c for c in self.free_chunks if c.page is not page]
+                self.total_pages -= 1
+                self.total_chunks -= self.chunks_per_page
+                return page
+        return None
+
     def release(self, chunk: SlabChunk) -> None:
         """Return *chunk* to this class's free list."""
         if not chunk.used:
@@ -188,6 +211,21 @@ class SlabAllocator:
 
     def free(self, chunk: SlabChunk) -> None:
         chunk.slab_class.release(chunk)
+
+    def reassign_page(self, src: SlabClass, dst: SlabClass) -> bool:
+        """Move one empty page from *src* to *dst* (the slab mover).
+
+        Only fully-free pages move: no items are relocated, the arena is
+        simply re-carved at *dst*'s chunk size.  Returns False when *src*
+        has no empty page to give.
+        """
+        if src is dst:
+            return False
+        page = src.reclaim_page()
+        if page is None:
+            return False
+        dst.add_page(page)
+        return True
 
     def _make_page(self) -> Page:
         from repro.verbs.enums import Access

@@ -10,7 +10,7 @@ is doing the work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.memcached.errors import ClientError, ServerError
 from repro.memcached.hashtable import DEFAULT_POWER, HashTable
@@ -40,6 +40,13 @@ class StoreConfig:
     chunk_min: int = CHUNK_MIN               # -n
     growth_factor: float = GROWTH_FACTOR     # -f
     initial_hash_power: int = DEFAULT_POWER
+    #: The slab mover: when an allocation fails, reassign an empty page
+    #: from another class before evicting.  Off by default -- enabling it
+    #: changes eviction victims, so default runs stay digest-identical.
+    slab_automove: bool = False
+    #: Minimum sim-seconds between page moves (memcached's automover is
+    #: similarly rate-limited; this keeps the mover off the hot path).
+    slab_automove_window_s: float = 1.0
 
 
 @dataclass
@@ -61,6 +68,9 @@ class StoreStats:
     cas_badval: int = 0
     evictions: int = 0
     expired_unfetched: int = 0
+    reclaimed: int = 0
+    oom_errors: int = 0
+    slab_moves: int = 0
     total_items: int = 0
     curr_items: int = 0
     bytes: int = 0
@@ -91,6 +101,16 @@ class ItemStore:
         self.stats = StoreStats()
         #: Items created strictly before this instant are flushed.
         self._flush_before = -1.0
+        #: Per-class pressure counters for ``stats items``:
+        #: class_id -> {evicted, reclaimed, outofmemory}.
+        self._class_stats: dict[int, dict[str, int]] = {}
+        #: Optional observer called as ``on_evict(key, kind)`` whenever
+        #: memory pressure destroys a value: kind is 'evicted' (live LRU
+        #: tail), 'reclaimed' (expired/flushed reap) or 'lost' (the old
+        #: value of an unlink-first replacement whose re-store failed).
+        #: Pure Python, never touches the sim clock: digest-neutral.
+        self.on_evict: Optional[Callable[[str, str], None]] = None
+        self._last_automove_s = float("-inf")
 
     # -- time helpers ------------------------------------------------------------
 
@@ -116,7 +136,7 @@ class ItemStore:
         old = self._live_item(key)
         if old is not None:
             self._unlink(old)
-        return self._store_new(key, value, flags, exptime)
+        return self._store_new_replacing(key, value, flags, exptime, old)
 
     def add(self, key: str, value: bytes, flags: int = 0, exptime: float = 0) -> Optional[Item]:
         """Store only if absent; None means NOT_STORED."""
@@ -134,7 +154,7 @@ class ItemStore:
         if old is None:
             return None
         self._unlink(old)
-        return self._store_new(key, value, flags, exptime)
+        return self._store_new_replacing(key, value, flags, exptime, old)
 
     def append(self, key: str, suffix: bytes) -> Optional[Item]:
         return self._concat(key, suffix, append=True)
@@ -154,7 +174,7 @@ class ItemStore:
             return "exists"
         self.stats.cas_hits += 1
         self._unlink(item)
-        self._store_new(key, value, flags, exptime)
+        self._store_new_replacing(key, value, flags, exptime, item)
         return "stored"
 
     # -- retrieval ---------------------------------------------------------------------
@@ -271,7 +291,7 @@ class ItemStore:
         else:  # needs a bigger chunk: full re-store
             flags, exptime = item.flags, item.exptime
             self._unlink(item)
-            self._store_new(key, new, flags, 0)
+            self._store_new_replacing(key, new, flags, 0, item)
         return value
 
     def _concat(self, key: str, data: bytes, append: bool) -> Optional[Item]:
@@ -285,7 +305,13 @@ class ItemStore:
         exptime = item.exptime
         self._unlink(item)
         # exptime already absolute: store directly.
-        new_item = self._alloc_item(key, combined, flags)
+        try:
+            new_item = self._alloc_item(key, combined, flags)
+        except ServerError:
+            # Unlink-first order: the old value is already gone.
+            if self.on_evict is not None:
+                self.on_evict(key, "lost")
+            raise
         new_item.exptime = exptime
         self._link(new_item)
         return new_item
@@ -295,6 +321,23 @@ class ItemStore:
         item.exptime = self.absolute_exptime(exptime)
         self._link(item)
         return item
+
+    def _store_new_replacing(
+        self, key: str, value: bytes, flags: int, exptime: float, old: Optional[Item]
+    ) -> Item:
+        """Store after an unlink-first replacement.
+
+        memcached unlinks the old item *before* allocating the new one,
+        so an allocation failure here (OOM, object too large) has
+        already destroyed the old value.  The loss is reported through
+        the eviction hook so verification can adopt it.
+        """
+        try:
+            return self._store_new(key, value, flags, exptime)
+        except ServerError:
+            if old is not None and self.on_evict is not None:
+                self.on_evict(key, "lost")
+            raise
 
     def _alloc_item(self, key: str, value: bytes, flags: int) -> Item:
         total = ITEM_HEADER_OVERHEAD + len(key) + len(value)
@@ -310,30 +353,82 @@ class ItemStore:
         return item
 
     def _evict_and_retry(self, total: int):
-        if not self.config.evictions_enabled:
-            raise ServerError("out of memory storing object")
         cls = self.slabs.class_for(total)
         assert cls is not None
+        if not self.config.evictions_enabled:
+            # -M mode: never evict, answer SERVER_ERROR instead.
+            self._record_oom(cls)
+            raise ServerError("out of memory storing object")
+        if self._try_rebalance(cls):
+            chunk = self.slabs.alloc(total)
+            if chunk is not None:
+                return chunk
         now = self.now_seconds()
         # Pass 1: reap expired from the tail; pass 2: evict the coldest.
         victim = None
+        kind = "evicted"
         for candidate in self.lru.eviction_candidates(cls.class_id):
             if candidate.is_expired(now) or self._is_flushed(candidate):
                 victim = candidate
-                self.stats.expired_unfetched += 1
+                kind = "reclaimed"
                 break
         if victim is None:
             for candidate in self.lru.eviction_candidates(cls.class_id, max_scan=1):
                 victim = candidate
-            if victim is not None:
-                self.stats.evictions += 1
         if victim is None:
+            self._record_oom(cls)
             raise ServerError("out of memory storing object")
+        self._record_eviction(victim, kind)
         self._unlink(victim)
         chunk = self.slabs.alloc(total)
         if chunk is None:  # single eviction always frees a same-class chunk
+            self._record_oom(cls)
             raise ServerError("out of memory storing object")
         return chunk
+
+    def _try_rebalance(self, needy) -> bool:
+        """The slab mover: pull an empty page from another class before
+        evicting.  Rate-limited on the sim clock (one move per automove
+        window); donors are scanned in class order, so victim selection
+        stays deterministic."""
+        if not self.config.slab_automove:
+            return False
+        now = self.now_seconds()
+        if now - self._last_automove_s < self.config.slab_automove_window_s:
+            return False
+        for donor in self.slabs.classes:
+            if donor is needy:
+                continue
+            if self.slabs.reassign_page(donor, needy):
+                self.stats.slab_moves += 1
+                self._last_automove_s = now
+                return True
+        return False
+
+    def _record_eviction(self, victim: Item, kind: str) -> None:
+        """Count (and report) the pressure-driven removal of *victim*;
+        kind is 'evicted' (live LRU tail) or 'reclaimed' (expired or
+        flushed, reaped instead of evicting)."""
+        cid = victim.chunk.slab_class.class_id
+        if kind == "reclaimed":
+            self.stats.expired_unfetched += 1
+            self.stats.reclaimed += 1
+            self._bump_class(cid, "reclaimed")
+        else:
+            self.stats.evictions += 1
+            self._bump_class(cid, "evicted")
+        if self.on_evict is not None:
+            self.on_evict(victim.key, kind)
+
+    def _record_oom(self, cls) -> None:
+        self.stats.oom_errors += 1
+        self._bump_class(cls.class_id, "outofmemory")
+
+    def _bump_class(self, class_id: int, counter: str) -> None:
+        per = self._class_stats.setdefault(
+            class_id, {"evicted": 0, "reclaimed": 0, "outofmemory": 0}
+        )
+        per[counter] += 1
 
     def _live_item(self, key: str) -> Optional[Item]:
         """Lookup with lazy expiry and flush filtering."""
@@ -397,17 +492,38 @@ class ItemStore:
         return out
 
     def item_stats_detail(self) -> dict[str, int]:
-        """``stats items``: per-class LRU occupancy and ages."""
+        """``stats items``: per-class LRU occupancy, ages and pressure
+        counters (evicted/reclaimed/outofmemory, memcached's names)."""
         out: dict[str, int] = {}
         now = self.now_seconds()
-        for class_id, queue in sorted(self.lru._queues.items()):
-            if len(queue) == 0:
+        class_ids = set(self.lru._queues) | set(self._class_stats)
+        for class_id in sorted(class_ids):
+            queue = self.lru._queues.get(class_id)
+            number = len(queue) if queue is not None else 0
+            counters = self._class_stats.get(class_id)
+            if number == 0 and counters is None:
                 continue
             prefix = f"items:{class_id}"
-            out[f"{prefix}:number"] = len(queue)
-            tail = queue.tail
+            out[f"{prefix}:number"] = number
+            tail = queue.tail if queue is not None else None
             out[f"{prefix}:age"] = int(now - tail.last_access) if tail else 0
+            if counters is not None:
+                out[f"{prefix}:evicted"] = counters["evicted"]
+                out[f"{prefix}:reclaimed"] = counters["reclaimed"]
+                out[f"{prefix}:outofmemory"] = counters["outofmemory"]
         return out
+
+    def settings_dict(self) -> dict[str, int]:
+        """``stats settings``: the -m/-M/-n/-f view of :class:`StoreConfig`
+        (growth factor scaled by 100 to stay integral on the wire)."""
+        cfg = self.config
+        return {
+            "maxbytes": cfg.max_bytes,
+            "evictions": int(cfg.evictions_enabled),
+            "chunk_size": cfg.chunk_min,
+            "growth_factor_x100": int(round(cfg.growth_factor * 100)),
+            "slab_automove": int(cfg.slab_automove),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ItemStore {self.stats.curr_items} items, {self.stats.bytes}B>"

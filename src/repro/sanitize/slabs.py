@@ -9,7 +9,11 @@ item population and the slab allocator's ground truth.  Invariants:
 4. no chunk on a free list is marked used;
 5. ``allocated_bytes`` equals pages handed out times the page size;
 6. per class, used chunks (total - free) cover at least the linked items
-   stored there (reserved-but-uncommitted items may hold extras).
+   stored there (reserved-but-uncommitted items may hold extras);
+7. per class, ``total_chunks`` equals ``total_pages * chunks_per_page``
+   -- page reassignment (the slab rebalancer) must move a page's worth
+   of chunks atomically, so a mover that leaks the donor's chunks (a
+   double-free in the making) breaks conservation immediately.
 
 Drift in any of these is how a slab double-free or a missed
 ``stats.bytes`` update first becomes visible.
@@ -89,6 +93,13 @@ class SlabSanitizer:
                 violations.append(
                     f"class {cls.class_id}: {linked} linked items but only "
                     f"{used} chunks in use"
+                )
+            expected = cls.total_pages * cls.chunks_per_page
+            if cls.total_chunks != expected:
+                violations.append(
+                    f"class {cls.class_id}: {cls.total_chunks} chunks but "
+                    f"{cls.total_pages} pages x {cls.chunks_per_page} "
+                    f"per page = {expected} (page reassignment leak?)"
                 )
 
         if self.counters is not None:

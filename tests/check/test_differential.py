@@ -53,7 +53,19 @@ def test_differential_agreement_across_all_configs():
     assert len(result.replays) == len(CONFIGS)
 
 
-@pytest.mark.parametrize("mutation", sorted(MUTATIONS))
+#: Mutations only expressible under memory pressure get their own rig
+#: (tests/check/test_pressure.py); the classic three are caught by the
+#: plain sequential replay.
+_PLAIN_MUTATIONS = ("delete-lies", "incr-off-by-one", "set-truncates")
+
+
+def test_pressure_mutations_are_registered():
+    assert set(_PLAIN_MUTATIONS) | {
+        "skip-eviction-counter", "double-free-on-rebalance"
+    } == set(MUTATIONS)
+
+
+@pytest.mark.parametrize("mutation", _PLAIN_MUTATIONS)
 def test_injected_mutations_are_caught_and_shrink_small(mutation):
     """A deliberately broken store is detected, and ddmin produces a
     counterexample of at most 10 commands (the acceptance bound)."""

@@ -153,7 +153,32 @@ def test_touch_and_flush(model, clock):
 def test_divergences_documented():
     names = [name for name, _ in MODEL_DIVERGENCES]
     assert len(names) == len(set(names))  # no duplicate entries
-    assert "cas-token-values" in names and "no-eviction" in names
+    assert "cas-token-values" in names and "no-stats" in names
+    # Retired in the memory-pressure PR: the replay layer now adopts
+    # store-reported evictions/OOM, so pressure is a verified surface.
+    assert "no-eviction" not in names and "no-oom" not in names
+
+
+def test_model_eviction_adoption():
+    model = ModelMemcached(lambda: 0.0)
+    model.set("k", b"v")
+    assert model.evict("k") is True
+    assert model.get("k") is None
+    assert model.evict("k") is False  # nothing left to adopt
+
+
+def test_model_too_large_set_destroys_old_value():
+    # Bug-for-bug mirror of the store's unlink-first order: a too-large
+    # replacement raises SERVER_ERROR *and* destroys the old value.
+    model = ModelMemcached(lambda: 0.0)
+    model.set("k", b"old")
+    with pytest.raises(ServerError):
+        model.set("k", bytes(PAGE_BYTES))
+    assert model.get("k") is None
+    model.set("k", b"fresh")
+    with pytest.raises(ServerError):
+        model.append("k", bytes(PAGE_BYTES))
+    assert model.get("k") is None
 
 
 # -- property: model vs the real store on one clock ---------------------------

@@ -24,7 +24,9 @@ GOLDEN = json.loads(GOLDEN_PATH.read_text())
 
 
 def test_golden_file_covers_the_figures():
-    assert set(GOLDEN) == {"3", "4", "5", "6", "6s", "breakdown", "pipeline"}
+    assert set(GOLDEN) == {
+        "3", "4", "5", "6", "6s", "breakdown", "pipeline", "pressure",
+    }
     for name, entry in GOLDEN.items():
         assert set(entry) == {"digest", "events"}
         assert entry["events"] > 0

@@ -1,0 +1,212 @@
+"""Property-based tests for the LRU queue and the slab allocator.
+
+These are the two structures eviction and slab rebalancing lean on, so
+their invariants get the Hypothesis treatment:
+
+- :class:`LruQueue` stays structurally sound (``validate()`` returns no
+  violations) under arbitrary interleavings of push/unlink/touch, and
+  orders items exactly like a reference list;
+- :class:`SlabAllocator` conserves chunks -- every class always holds
+  ``total_pages * chunks_per_page`` chunks, allocation never exceeds
+  ``max_bytes``, and ``reassign_page``/``reclaim_page`` move pages
+  without leaking or duplicating chunks.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.memcached.items import Item
+from repro.memcached.lru import LruQueue
+from repro.memcached.slabs import (
+    PAGE_BYTES,
+    SlabAllocator,
+    build_chunk_sizes,
+)
+
+
+def _chunk(allocator: SlabAllocator) -> "object":
+    chunk = allocator.alloc(96)
+    assert chunk is not None
+    return chunk
+
+
+def _fresh_items(n: int) -> list[Item]:
+    allocator = SlabAllocator(max_bytes=4 * PAGE_BYTES)
+    return [Item(f"k{i}", 0, 0.0, 8, _chunk(allocator)) for i in range(n)]
+
+
+# One LRU op: (kind, item index).  Indices larger than the live set are
+# taken modulo, so every drawn op applies to something.
+LRU_OPS = st.lists(
+    st.tuples(st.sampled_from(["push", "unlink", "touch"]), st.integers(0, 15)),
+    min_size=1,
+    max_size=80,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(LRU_OPS)
+def test_lru_queue_matches_reference_list(ops):
+    """Queue order and size track a plain list under any op sequence."""
+    items = _fresh_items(16)
+    queue = LruQueue(class_id=0)
+    reference: list[Item] = []  # head first
+    for kind, index in ops:
+        item = items[index % len(items)]
+        linked = item in reference
+        if kind == "push":
+            if linked:
+                continue  # double-push raises by design; covered below
+            queue.push_head(item)
+            reference.insert(0, item)
+        elif kind == "unlink":
+            if not linked:
+                continue
+            queue.unlink(item)
+            reference.remove(item)
+        else:  # touch
+            if not linked:
+                continue
+            queue.touch(item)
+            reference.remove(item)
+            reference.insert(0, item)
+        assert queue.validate() == []
+        assert len(queue) == len(reference)
+    # Forward walk reproduces the reference order exactly.
+    walked = []
+    cursor = queue.head
+    while cursor is not None:
+        walked.append(cursor)
+        cursor = cursor.next
+    assert walked == reference
+    # coldest() walks tail-first.
+    assert list(queue.coldest(max_scan=len(reference) + 1)) == reference[::-1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 8))
+def test_lru_double_push_rejected(n):
+    items = _fresh_items(n)
+    queue = LruQueue(class_id=0)
+    for item in items:
+        queue.push_head(item)
+    for item in items:
+        try:
+            queue.push_head(item)
+        except ValueError:
+            pass
+        else:  # pragma: no cover - the bug this test pins
+            raise AssertionError("double push_head silently accepted")
+        assert queue.validate() == []
+
+
+def test_class_for_is_monotonic_and_minimal():
+    """class_for picks the smallest class that fits, for every size."""
+    allocator = SlabAllocator(max_bytes=2 * PAGE_BYTES)
+    sizes = build_chunk_sizes()
+    assert sizes == sorted(sizes)
+    previous_id = -1
+    for size in range(48, 4096, 7):
+        cls = allocator.class_for(size)
+        assert cls is not None and cls.chunk_size >= size
+        if cls.class_id > 0:
+            smaller = allocator.classes[cls.class_id - 1]
+            assert smaller.chunk_size < size  # minimal fit
+        assert cls.class_id >= previous_id  # monotone in the request size
+        previous_id = cls.class_id
+    assert allocator.class_for(PAGE_BYTES + 1) is None
+
+
+def _conserved(allocator: SlabAllocator) -> None:
+    pages = 0
+    for cls in allocator.classes:
+        assert cls.total_chunks == cls.total_pages * cls.chunks_per_page
+        assert len(cls.free_chunks) <= cls.total_chunks
+        pages += cls.total_pages
+    assert allocator.allocated_bytes == pages * PAGE_BYTES
+    assert allocator.allocated_bytes <= allocator.max_bytes
+
+
+# Allocation sizes spanning several classes, small enough that pages
+# hold many chunks (keeps examples fast).
+ALLOC_SIZES = st.sampled_from([60, 96, 120, 200, 400, 900, 2000])
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), ALLOC_SIZES),
+        min_size=1,
+        max_size=120,
+    )
+)
+def test_allocator_conserves_chunks_under_alloc_free(ops):
+    """alloc/free never break per-class chunk conservation or the cap."""
+    allocator = SlabAllocator(max_bytes=2 * PAGE_BYTES)
+    held = []
+    for kind, size in ops:
+        if kind == "alloc":
+            chunk = allocator.alloc(size)
+            if chunk is not None:
+                assert chunk.used
+                held.append(chunk)
+        elif held:
+            chunk = held.pop()
+            allocator.free(chunk)
+            assert not chunk.used
+        _conserved(allocator)
+    # Every held chunk is distinct (no aliasing from the free lists).
+    assert len({id(c) for c in held}) == len(held)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_reassign_page_conserves_chunks(seed):
+    """Random drain-then-move cycles keep both classes conserved."""
+    import random
+
+    rng = random.Random(seed)
+    allocator = SlabAllocator(max_bytes=3 * PAGE_BYTES)
+    src = allocator.class_for(2000)
+    dst = allocator.class_for(96)
+    held = []
+    for _ in range(rng.randint(1, 30)):
+        action = rng.random()
+        if action < 0.5:
+            chunk = allocator.alloc(rng.choice([96, 2000]))
+            if chunk is not None:
+                held.append(chunk)
+        elif action < 0.8 and held:
+            allocator.free(held.pop(rng.randrange(len(held))))
+        else:
+            src_pages = {c.page for c in held if c.slab_class is src}
+            if allocator.reassign_page(src, dst):
+                # Only fully-free pages may move: a page hosting a held
+                # chunk staying behind proves no live data was re-carved.
+                assert all(
+                    all(fc.page is not page for fc in dst.free_chunks)
+                    for page in src_pages
+                )
+        _conserved(allocator)
+    # Held chunks all still belong to classes that own their pages.
+    for chunk in held:
+        assert chunk.used
+        assert chunk.slab_class in allocator.classes
+
+
+def test_reclaim_page_refuses_partial_pages():
+    """A page with even one used chunk never leaves its class."""
+    allocator = SlabAllocator(max_bytes=2 * PAGE_BYTES)
+    cls = allocator.class_for(2000)
+    chunks = [allocator.alloc(2000) for _ in range(cls.chunks_per_page)]
+    assert all(c is not None for c in chunks)
+    # One chunk still used: no reclaim.
+    for chunk in chunks[1:]:
+        allocator.free(chunk)
+    assert cls.reclaim_page() is None
+    allocator.free(chunks[0])
+    page = cls.reclaim_page()
+    assert page is not None
+    assert cls.total_chunks == cls.total_pages * cls.chunks_per_page
+    # Reclaimed chunks are gone from the free list entirely.
+    assert all(c.page is not page for c in cls.free_chunks)
