@@ -1,0 +1,68 @@
+"""One-sided path smoke: simulator wall-clock for READs and publishes.
+
+Two costs the PR-8 subsystem adds, bounded separately:
+
+- the *client* loop: a full one-sided GET is three simulated RDMA READs
+  plus entry unpacking, and this pins how many of them a figure run can
+  afford;
+- the *server* write path: every store mutation now re-packs and
+  re-publishes a 64-byte entry under the seqlock, and churning
+  set/delete must stay the same order of magnitude as the store bench
+  (the index adds two MR writes per mutation, not a rehash).
+"""
+
+from repro.cluster import CLUSTER_A, Cluster
+from repro.sanitize import ExportSanitizer
+
+N_GETS = 1_000
+N_CHURN = 3_000
+VALUE = bytes(512)
+
+
+def _cluster():
+    cluster = Cluster(CLUSTER_A, n_client_nodes=1)
+    cluster.start_server()
+    return cluster
+
+
+def test_bench_onesided_get_loop(benchmark):
+    """End-to-end one-sided GETs (3 READs each), single hot key set."""
+
+    def run():
+        cluster = _cluster()
+        client = cluster.client("UCR-1S")
+
+        def loop():
+            for i in range(8):
+                yield from client.set(f"key{i}", VALUE)
+            for i in range(N_GETS):
+                value = yield from client.get(f"key{i % 8}")
+                assert value == VALUE
+            return client.transport
+
+        p = cluster.sim.process(loop())
+        cluster.sim.run()
+        assert p.processed
+        return p.value
+
+    transport = benchmark(run)
+    assert transport.onesided_hits == N_GETS
+    assert transport.fallbacks == {}
+
+
+def test_bench_index_publish_churn(benchmark):
+    """set/delete churn through the store's seqlock publish hooks."""
+
+    def run():
+        cluster = _cluster()
+        store = cluster.server.store
+        for i in range(N_CHURN):
+            key = f"key{i % 512}"
+            store.set(key, VALUE)
+            if i % 3 == 0:
+                store.delete(key)
+        return store
+
+    store = benchmark(run)
+    assert store.onesided.publishes >= N_CHURN
+    assert ExportSanitizer().check(store) == []

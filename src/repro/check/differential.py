@@ -62,7 +62,10 @@ BOGUS_CAS = 2**61
 PRESSURE_STORE_CONFIG = StoreConfig(max_bytes=2 * PAGE_BYTES, slab_automove=True)
 
 #: The issue's four transports; UCR's active messages are already
-#: structs, the sockets transports each speak text and binary.
+#: structs, the sockets transports each speak text and binary.  UCR-1S
+#: is UCR-IB with GET/gets served by one-sided RDMA READs against the
+#: server-exported index (docs/ONESIDED.md) -- semantically it must be
+#: indistinguishable from every other config.
 CONFIGS: tuple[tuple[str, str, bool], ...] = (
     ("UCR-IB", "UCR-IB", False),
     ("SDP/text", "SDP", False),
@@ -71,6 +74,7 @@ CONFIGS: tuple[tuple[str, str, bool], ...] = (
     ("IPoIB/bin", "IPoIB", True),
     ("10GigE-TOE/text", "10GigE-TOE", False),
     ("10GigE-TOE/bin", "10GigE-TOE", True),
+    ("UCR-1S", "UCR-1S", False),
 )
 
 
@@ -428,6 +432,26 @@ def _mutate_double_free_on_rebalance(store) -> None:
     store.slabs.reassign_page = reassign
 
 
+def _mutate_onesided_skip_version_bump(store) -> None:
+    # Exported-index invalidation bug: unpublish forgets the owner but
+    # never brackets the entry with a version bump, so a stale *live*
+    # entry keeps naming the chunk after delete/eviction frees it.  A
+    # one-sided GET then reads a stable, matching-hash entry and serves
+    # the dead value (only the UCR-1S config can see this; the index is
+    # bystander state for every RPC transport).  ExportSanitizer flags
+    # it immediately as an ownerless live entry.
+    index = store.onesided
+    if index is None:  # pragma: no cover - servers always export here
+        return
+
+    def unpublish(item):
+        bucket = index.bucket_for(item.key)
+        if index._owner[bucket] is item:
+            index._owner[bucket] = None  # bookkeeping only: no seqlock bump
+
+    index.unpublish = unpublish
+
+
 #: name -> patcher(store).  Applied to a live cluster's store by
 #: replay_sequential(mutation=...); TEST-ONLY, never in production paths.
 MUTATIONS: dict[str, Callable] = {
@@ -436,6 +460,7 @@ MUTATIONS: dict[str, Callable] = {
     "delete-lies": _mutate_delete_lies,
     "skip-eviction-counter": _mutate_skip_eviction_counter,
     "double-free-on-rebalance": _mutate_double_free_on_rebalance,
+    "onesided-skip-version-bump": _mutate_onesided_skip_version_bump,
 }
 
 

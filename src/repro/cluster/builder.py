@@ -27,6 +27,11 @@ from repro.memcached.client import (
     UcrUdTransport,
 )
 from repro.memcached.items import reset_cas_ids
+from repro.memcached.onesided import (
+    OneSidedClient,
+    OneSidedShardedClient,
+    OneSidedTransport,
+)
 from repro.memcached.server import MemcachedCosts, MemcachedServer, UcrServerPort
 from repro.memcached.store import StoreConfig
 from repro.sim import Simulator
@@ -167,8 +172,11 @@ class Cluster:
         """A memcached client on ``client<client_node>`` using *transport*.
 
         Transport names come from :meth:`ClusterSpec.transports`
-        ("UCR-IB", "SDP", "IPoIB", "10GigE-TOE", "1GigE-TCP").  *binary*
-        selects the binary wire protocol on sockets transports
+        ("UCR-IB", "SDP", "IPoIB", "10GigE-TOE", "1GigE-TCP"), plus the
+        derived "UCR-1S" (one-sided GETs over the server-exported index,
+        docs/ONESIDED.md; every other op rides UCR-IB active messages)
+        and "UCR-UD".  *binary* selects the binary wire protocol on
+        sockets transports
         (libmemcached's BINARY_PROTOCOL behavior; ignored for UCR, whose
         active messages are already structs).  *timeout_us* defaults to
         the spec's ``client_timeout_us``.  *pipeline_depth* sets the
@@ -188,6 +196,16 @@ class Cluster:
             t = UcrTransport(context, MEMCACHED_PORT, costs, timeout_us)
             for name in self.server_names:
                 t.add_server(name, self.runtimes[name])
+        elif transport == "UCR-1S":
+            context = self.runtimes[node_name].create_context(
+                f"mc-1s-client-{len(self.runtimes[node_name]._counters)}"
+            )
+            t = OneSidedTransport(context, MEMCACHED_PORT, costs, timeout_us)
+            for name in self.server_names:
+                t.add_server(name, self.runtimes[name])
+                index = self.servers[name].onesided_index
+                if index is not None:
+                    t.add_index(name, index.descriptor)
         elif transport == "UCR-UD":
             # The paper's §VII scaling direction: connection-less clients.
             context = self.runtimes[node_name].create_context(
@@ -212,7 +230,8 @@ class Cluster:
                 f"unknown transport {transport!r}; cluster {self.spec.name} has "
                 f"{self.spec.transports}"
             )
-        return MemcachedClient(
+        cls = OneSidedClient if isinstance(t, OneSidedTransport) else MemcachedClient
+        return cls(
             t,
             list(self.server_names),
             distribution=distribution,
@@ -245,9 +264,12 @@ class Cluster:
             binary=binary,
         )
         ring = HashRing(self.server_names, vnodes=vnodes)
-        return ShardedClient(
-            base.transport, ring, policy=policy, pipeline_depth=pipeline_depth
+        cls = (
+            OneSidedShardedClient
+            if isinstance(base.transport, OneSidedTransport)
+            else ShardedClient
         )
+        return cls(base.transport, ring, policy=policy, pipeline_depth=pipeline_depth)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

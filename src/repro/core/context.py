@@ -144,6 +144,11 @@ class UcrContext:
         if cookie.kind == "eager" and cookie.origin_counter is not None:
             # Local completion: the application buffer is reusable.
             cookie.origin_counter.add()
+        elif cookie.kind == "onesided-read":
+            # A client-issued RDMA READ (one-sided GET path): the data is
+            # already scattered into the landing buffer, so the counter
+            # wake is all that remains.
+            cookie.origin_counter.add()
         elif cookie.kind == "rendezvous-read":
             yield from self._finish_rendezvous(ep, cookie)
         # 'header' and 'internal' completions need no action on success.

@@ -122,6 +122,8 @@ class SanitizerCounters:
         "events_digested",
         "slab_checks",
         "slab_violations",
+        "export_checks",
+        "export_violations",
     )
 
     def __init__(self) -> None:
@@ -136,6 +138,8 @@ class SanitizerCounters:
         self.events_digested = 0
         self.slab_checks = 0
         self.slab_violations = 0
+        self.export_checks = 0
+        self.export_violations = 0
 
     def snapshot(self) -> dict:
         """Name -> value mapping (stable order, for reports and tests)."""

@@ -50,7 +50,7 @@ _ep_ids = itertools.count(1)
 class _SendCompletionCookie:
     """Rides send-CQ completions so the progress engine can finish them."""
 
-    kind: str  # 'eager' | 'rendezvous-read'
+    kind: str  # 'eager' | 'rendezvous-read' | 'onesided-read' | 'header' | 'internal'
     endpoint: "Endpoint"
     origin_counter: Any = None
     wire: Optional[AmWire] = None

@@ -22,6 +22,7 @@ from repro.experiments import (
     figure5,
     figure6,
     figure_breakdown,
+    figure_onesided,
     figure_pipeline,
     figure_pressure,
 )
@@ -34,6 +35,7 @@ FIGURES: dict[str, Callable[[bool], ExperimentReport]] = {
     "6": figure6.run,
     "6s": figure6.run_sharded,
     "breakdown": figure_breakdown.run,
+    "onesided": figure_onesided.run,
     "pipeline": figure_pipeline.run,
     "pressure": figure_pressure.run,
     "ext": extensions.run,

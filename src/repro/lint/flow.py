@@ -1,4 +1,4 @@
-"""Dataflow lint rules over per-function CFGs (L008-L011).
+"""Dataflow lint rules over per-function CFGs (L008-L012).
 
 Where :mod:`repro.lint.rules` pattern-matches single AST nodes, the rules
 here reason about *paths*: what holds before a statement given every way
@@ -23,6 +23,11 @@ L011      Interrupt safety: a resource ``request()`` held at a yield must
           be under a ``try`` whose ``finally`` releases it --
           :meth:`repro.sim.process.Process.interrupt` raises *at the
           yield*, and an unreleased grant deadlocks every later waiter.
+L012      Seqlock discipline: writes to exported one-sided index entry
+          fields (``slot = self._mirror[b]; slot.key_hash = ...``) must
+          sit between ``seq_begin``/``seq_end`` on every path -- remote
+          clients READ those bytes with no locks, and an unbracketed
+          write is a torn read they cannot detect.
 ========  ==============================================================
 
 L008 and L011 only fire inside generator functions: a function with no
@@ -548,10 +553,185 @@ class InterruptSafetyRule(FlowRule):
         return False
 
 
+#: The packed per-entry field names of the exported one-sided index
+#: (``repro.memcached.onesided.layout.ENTRY_FORMAT``).  Every store to
+#: one of these on index state is governed by the seqlock.
+_ENTRY_FIELDS = frozenset(
+    {
+        "version",
+        "key_hash",
+        "value_rkey",
+        "value_offset",
+        "value_length",
+        "flags",
+        "cas",
+        "deadline_us",
+    }
+)
+
+#: The only functions allowed to move an entry's version field.
+_SEQLOCK_HELPERS = frozenset({"seq_begin", "seq_end"})
+
+
+class SeqlockWriteRule(FlowRule):
+    """L012: exported-index entry writes happen under the seqlock.
+
+    The tracked shape is the index's own idiom: a local bound from a
+    subscript of onesided-registered state (``slot = self._mirror[b]``).
+    From its definition the local is *unbracketed*; a statement calling
+    ``.seq_begin(...)`` brackets every tracked local, ``.seq_end(...)``
+    unbrackets them again.  An entry-field store on a local that is
+    unbracketed along any path is flagged -- a remote RDMA READ racing
+    that write would see a half-updated entry with a perfectly even
+    version, the exact corruption the protocol exists to prevent.
+
+    Two shapes are flagged unconditionally: any write to ``version``
+    outside the seqlock helpers themselves (the version *is* the lock;
+    only ``seq_begin``/``seq_end`` may move it), and a direct store
+    through the shared chain (``self._mirror[b].cas = ...``) -- route it
+    through a bracketed local so the bracketing is checkable.
+    """
+
+    rule_id = "L012"
+    title = "exported-index entry writes are seqlock-bracketed"
+
+    def check_function(self, ctx, func, cfg) -> Iterator[Finding]:
+        """Track bracket state per slot local; flag unbracketed writes."""
+        if func.name in _SEQLOCK_HELPERS:
+            return
+        tracked: set = set()
+        defs_at: dict[int, set] = {}
+        writes: list[tuple[CfgNode, object, str]] = []
+        for node in cfg.statement_nodes():
+            var = self._slot_def(node.stmt)
+            if var is not None:
+                tracked.add(var)
+                defs_at.setdefault(node.index, set()).add(var)
+            writes.extend(self._entry_writes(node))
+        if not writes:
+            return
+
+        def transfer(node: CfgNode, in_: frozenset) -> frozenset:
+            """Rebinding kills; seq_begin/seq_end flip; defs gen."""
+            stored = _stored_names(node)
+            facts = {(tag, var) for tag, var in in_ if var not in stored}
+            calls = self._seqlock_calls(node)
+            if "seq_begin" in calls:
+                facts = {("bracketed", var) for _tag, var in facts}
+            if "seq_end" in calls:
+                facts = {("unbracketed", var) for _tag, var in facts}
+            for var in defs_at.get(node.index, ()):
+                facts.add(("unbracketed", var))
+            return frozenset(facts)
+
+        in_facts = _solve(cfg, transfer)
+        for node, receiver, field in writes:
+            if isinstance(receiver, str):
+                if receiver not in tracked:
+                    continue  # some unrelated object with a same-named field
+                if field == "version":
+                    yield Finding(
+                        path=ctx.path,
+                        line=node.line,
+                        col=getattr(node.stmt, "col_offset", 0),
+                        rule_id=self.rule_id,
+                        message=(
+                            f"'{receiver}.version' written by hand; the version "
+                            f"is the seqlock itself -- only seq_begin/seq_end "
+                            f"may move it"
+                        ),
+                    )
+                elif ("unbracketed", receiver) in in_facts[node.index]:
+                    yield Finding(
+                        path=ctx.path,
+                        line=node.line,
+                        col=getattr(node.stmt, "col_offset", 0),
+                        rule_id=self.rule_id,
+                        message=(
+                            f"exported entry field '{receiver}.{field}' written "
+                            f"outside a seq_begin/seq_end bracket on some path; "
+                            f"remote readers would see a torn entry with an even "
+                            f"version"
+                        ),
+                    )
+            else:
+                yield Finding(
+                    path=ctx.path,
+                    line=node.line,
+                    col=getattr(node.stmt, "col_offset", 0),
+                    rule_id=self.rule_id,
+                    message=(
+                        f"exported entry field '{field}' stored through the "
+                        f"shared index chain directly; bind the slot to a local "
+                        f"and bracket it with seq_begin/seq_end"
+                    ),
+                )
+
+    @staticmethod
+    def _slot_def(stmt: Optional[ast.stmt]) -> Optional[str]:
+        """The target of ``var = <onesided chain>[...]`` (a slot binding)."""
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Subscript)
+            and isinstance(stmt.value.value, ast.Attribute)
+        ):
+            return None
+        hit = classify_chain(stmt.value.value)
+        if hit is not None and hit[0] == "onesided":
+            return stmt.targets[0].id
+        return None
+
+    @staticmethod
+    def _entry_writes(node: CfgNode) -> Iterator[tuple[CfgNode, object, str]]:
+        """``(node, receiver, field)`` for entry-field stores at this node.
+
+        *receiver* is the local's name for ``slot.field = ...`` shapes,
+        or the target AST node for direct shared-chain stores.
+        """
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        else:
+            return
+        for target in targets:
+            if not (
+                isinstance(target, ast.Attribute) and target.attr in _ENTRY_FIELDS
+            ):
+                continue
+            receiver = target.value
+            if isinstance(receiver, ast.Name):
+                yield node, receiver.id, target.attr
+                continue
+            chain = receiver.value if isinstance(receiver, ast.Subscript) else receiver
+            if isinstance(chain, ast.Attribute):
+                hit = classify_chain(chain)
+                if hit is not None and hit[0] == "onesided":
+                    yield node, target, target.attr
+
+    @staticmethod
+    def _seqlock_calls(node: CfgNode) -> set:
+        """Seqlock helper names (``seq_begin``/``seq_end``) called here."""
+        calls: set = set()
+        for tree in node.own:
+            for n in walk_same_scope(tree):
+                if (
+                    isinstance(n, ast.Call)
+                    and isinstance(n.func, ast.Attribute)
+                    and n.func.attr in _SEQLOCK_HELPERS
+                ):
+                    calls.add(n.func.attr)
+        return calls
+
+
 #: The dataflow rules, in report order (opt-in via ``--flow``).
 FLOW_RULES: tuple[FlowRule, ...] = (
     StaleReadRule(),
     BufferTypestateRule(),
     QpTransitionRule(),
     InterruptSafetyRule(),
+    SeqlockWriteRule(),
 )

@@ -48,6 +48,11 @@ REGISTRY: dict[str, tuple[str, ...]] = {
     "failover": ("_health", "_pending"),
     # Chaos controller arming latch (fault injection toggles mid-run).
     "chaos": ("_armed",),
+    # The one-sided GET index: the store's exported-entry mirror and the
+    # attributes that reach it (store.onesided / server.onesided_index).
+    # Remote clients read these buckets with RDMA READs, so L012 holds
+    # every entry-field write to the seqlock discipline.
+    "onesided": ("onesided", "onesided_index", "_mirror"),
 }
 
 #: attribute name -> category (flattened view of :data:`REGISTRY`).

@@ -76,6 +76,8 @@ class ClientCosts:
     parse_text_us: float = 1.00      # walk a text response
     build_ucr_us: float = 1.20       # fill a request struct
     parse_ucr_us: float = 0.80       # read a response struct
+    onesided_issue_us: float = 0.30  # fill + post one RDMA READ WQE
+    onesided_check_us: float = 0.20  # unpack + seqlock-validate an entry
 
 
 DEFAULT_TIMEOUT_US = 1_000_000.0
@@ -1182,9 +1184,14 @@ class ShardedClient(MemcachedClient):
 
     # -- failover wrapper --------------------------------------------------
 
-    def _with_failover(self, op: str, *args, **kwargs):
-        """Process helper: run one base-client op with bounded retry."""
-        method = getattr(MemcachedClient, op)
+    def _with_failover(self, op, *args, **kwargs):
+        """Process helper: run one base-client op with bounded retry.
+
+        *op* is a base-client method name, or the unbound method itself
+        (subclasses pass e.g. ``OneSidedClient.get`` to route through
+        their own op implementations).
+        """
+        method = op if callable(op) else getattr(MemcachedClient, op)
         for attempt in range(self.policy.max_retries + 1):
             self._last_server = None
             try:

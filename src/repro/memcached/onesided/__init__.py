@@ -1,0 +1,52 @@
+"""One-sided RDMA GET: exported versioned index + direct-READ client.
+
+The server half (:mod:`~repro.memcached.onesided.index`) pins a
+fixed-layout bucket index kept coherent with the store's write path
+under a seqlock version discipline; the client half
+(:mod:`~repro.memcached.onesided.client`) serves GET/gets with RDMA
+READs against it, falling back to the active-message RPC path whenever
+the index cannot prove the answer.  See ``docs/ONESIDED.md``.
+"""
+
+from repro.memcached.onesided.client import (
+    DEFAULT_MAX_ONESIDED_BYTES,
+    OneSidedClient,
+    OneSidedShardedClient,
+    OneSidedTransport,
+)
+from repro.memcached.onesided.index import ExportedIndex, IndexDescriptor
+from repro.memcached.onesided.layout import (
+    DEFAULT_BUCKETS,
+    ENTRY_BYTES,
+    ENTRY_FORMAT,
+    HEADER_BYTES,
+    INDEX_MAGIC,
+    IndexEntry,
+    entry_offset,
+    hash64,
+    pack_entry,
+    pack_header,
+    unpack_entry,
+    unpack_header,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_MAX_ONESIDED_BYTES",
+    "ENTRY_BYTES",
+    "ENTRY_FORMAT",
+    "ExportedIndex",
+    "HEADER_BYTES",
+    "INDEX_MAGIC",
+    "IndexDescriptor",
+    "IndexEntry",
+    "OneSidedClient",
+    "OneSidedShardedClient",
+    "OneSidedTransport",
+    "entry_offset",
+    "hash64",
+    "pack_entry",
+    "pack_header",
+    "unpack_entry",
+    "unpack_header",
+]

@@ -1,0 +1,140 @@
+"""The exported bucket-index wire layout.
+
+The server pins one fixed-layout memory region that clients probe with
+RDMA READ (no server CPU).  Both sides must agree on the byte layout, so
+it is specified here once, as a :mod:`struct` format, and the pack/
+unpack pair is property-tested for round-trip fidelity.
+
+Region layout::
+
+    offset 0                 HEADER_BYTES          HEADER_BYTES + i*ENTRY_BYTES
+    +------------------------+---------------------+----
+    | magic u64 | buckets u32| entry 0 (64 bytes)  | entry 1 ...
+    +------------------------+---------------------+----
+
+Each bucket holds at most one entry (direct-mapped: colliding keys
+displace each other and the loser falls back to RPC, which is always
+correct -- absence from the index never proves absence from the cache).
+
+Entry layout (64 bytes, little-endian, 16 trailing pad bytes)::
+
+    version      u64   seqlock counter: even = stable, odd = mutating
+    key_hash     u64   hash64(key); 0 marks an empty bucket
+    value_rkey   u32   rkey of the slab page holding the value
+    value_offset u32   byte offset of the value within that page
+    value_length u32   exact value length in bytes
+    flags        u32   client opaque flags
+    cas          u64   CAS token at publish time (served by ``gets``)
+    deadline_us  u64   absolute expiry on the sim clock in µs; 0 = never
+
+``version`` is the seqlock: the server bumps it to odd before touching
+any other field and back to even after, and it strictly increases, so a
+client that re-reads the entry after fetching the value detects any
+concurrent mutation (torn read) as a version change.  ``deadline_us``
+folds both the item's exptime and any pending ``flush_all`` horizon into
+one client-checkable instant -- it is rounded *down* so the client never
+serves a value the server would already consider expired (expiring early
+merely causes an RPC fallback, which is authoritative).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass
+
+#: Identifies the region layout; bumped if the struct format changes.
+INDEX_MAGIC = 0x1D5EC0DE_0001
+#: Header: magic u64 + bucket count u32, padded to one entry slot.
+HEADER_FORMAT = "<QI52x"
+HEADER_BYTES = struct.calcsize(HEADER_FORMAT)
+#: One bucket entry (48 significant bytes padded to a 64-byte slot).
+ENTRY_FORMAT = "<QQIIIIQQ16x"
+ENTRY_BYTES = struct.calcsize(ENTRY_FORMAT)
+#: Default bucket count: power of two, sized well above the working sets
+#: the experiments drive so displacement stays rare.
+DEFAULT_BUCKETS = 4096
+
+assert HEADER_BYTES == 64 and ENTRY_BYTES == 64
+
+
+def hash64(key: str) -> int:
+    """The 64-bit key fingerprint stored in ``key_hash``.
+
+    blake2b is stable across processes (unlike ``hash()``), and the zero
+    digest -- the empty-bucket marker -- is remapped to 1.
+    """
+    digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+    value = int.from_bytes(digest, "little")
+    return value or 1
+
+
+@dataclass(slots=True)
+class IndexEntry:
+    """One unpacked bucket entry (see module docstring for semantics)."""
+
+    version: int = 0
+    key_hash: int = 0
+    value_rkey: int = 0
+    value_offset: int = 0
+    value_length: int = 0
+    flags: int = 0
+    cas: int = 0
+    deadline_us: int = 0
+
+    @property
+    def stable(self) -> bool:
+        """True when the version marks the entry as not mid-mutation."""
+        return self.version % 2 == 0
+
+    @property
+    def live(self) -> bool:
+        """True for a stable, occupied bucket."""
+        return self.stable and self.key_hash != 0
+
+
+def pack_entry(entry: IndexEntry) -> bytes:
+    """Serialize *entry* into its 64-byte slot representation."""
+    return struct.pack(
+        ENTRY_FORMAT,
+        entry.version,
+        entry.key_hash,
+        entry.value_rkey,
+        entry.value_offset,
+        entry.value_length,
+        entry.flags,
+        entry.cas,
+        entry.deadline_us,
+    )
+
+
+def unpack_entry(raw: bytes) -> IndexEntry:
+    """Deserialize a 64-byte slot back into an :class:`IndexEntry`."""
+    (version, key_hash, value_rkey, value_offset, value_length,
+     flags, cas, deadline_us) = struct.unpack(ENTRY_FORMAT, raw)
+    return IndexEntry(
+        version=version,
+        key_hash=key_hash,
+        value_rkey=value_rkey,
+        value_offset=value_offset,
+        value_length=value_length,
+        flags=flags,
+        cas=cas,
+        deadline_us=deadline_us,
+    )
+
+
+def pack_header(n_buckets: int) -> bytes:
+    """Serialize the region header."""
+    return struct.pack(HEADER_FORMAT, INDEX_MAGIC, n_buckets)
+
+
+def unpack_header(raw: bytes) -> tuple[int, int]:
+    """(magic, n_buckets) from the region header bytes."""
+    magic, n_buckets = struct.unpack(HEADER_FORMAT, raw)
+    return magic, n_buckets
+
+
+def entry_offset(bucket: int) -> int:
+    """Byte offset of *bucket*'s entry within the exported region."""
+    return HEADER_BYTES + bucket * ENTRY_BYTES

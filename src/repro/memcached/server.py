@@ -41,6 +41,7 @@ from repro.memcached.protocol_ucr import (  # noqa: F401
     McRequest,
     McResponse,
 )
+from repro.memcached.onesided.index import ExportedIndex
 from repro.memcached.store import ItemStore, StoreConfig
 from repro.sockets.api import Socket, WouldBlock
 from repro.sockets.epoll import EPOLLIN, Epoll
@@ -236,6 +237,14 @@ class MemcachedServer:
         self.node = node
         self.costs = costs
         self.store = ItemStore(sim, store_config, pd=pd)
+        #: The exported one-sided GET index (docs/ONESIDED.md): pinned
+        #: alongside the RDMA-registered slab arena whenever the server
+        #: has a protection domain, and kept coherent by the store's
+        #: write path.  Pure-Python bookkeeping -- servers that never see
+        #: a OneSidedClient pay no simulated time for it.
+        self.onesided_index = None
+        if pd is not None:
+            self.onesided_index = ExportedIndex(self.store, pd)
         #: The single execution engine every wire frontend dispatches to.
         self.engine = CommandEngine(self)
         self.workers = [_Worker(self, i) for i in range(n_workers)]

@@ -111,6 +111,10 @@ class ItemStore:
         #: Pure Python, never touches the sim clock: digest-neutral.
         self.on_evict: Optional[Callable[[str, str], None]] = None
         self._last_automove_s = float("-inf")
+        #: The exported one-sided index, when this store backs an
+        #: RDMA-capable server (set by ExportedIndex itself).  Every
+        #: write-path hook below is pure Python: digest-neutral.
+        self.onesided = None
 
     # -- time helpers ------------------------------------------------------------
 
@@ -190,6 +194,9 @@ class ItemStore:
         self.stats.get_hits += 1
         item.last_access = self.now_seconds()
         self.lru.touch(item)
+        if self.onesided is not None:
+            # Collision takeover / republish after a flush invalidation.
+            self.onesided.ensure(item)
         return item
 
     def get_multi(self, keys: list[str]) -> dict[str, Item]:
@@ -226,11 +233,15 @@ class ItemStore:
         if item is None:
             return False
         item.exptime = self.absolute_exptime(exptime)
+        if self.onesided is not None:
+            self.onesided.publish(item)  # refresh the exported deadline
         return True
 
     def flush_all(self, delay_seconds: float = 0.0) -> None:
         """Invalidate everything created before now (+delay)."""
         self._flush_before = self.now_seconds() + delay_seconds
+        if self.onesided is not None:
+            self.onesided.invalidate_all()
 
     # -- two-phase store (the UCR set path, paper §V-B) -----------------------------
 
@@ -285,8 +296,15 @@ class ItemStore:
         setattr(self.stats, f"{counter}_hits", getattr(self.stats, f"{counter}_hits") + 1)
         if len(new) <= item.chunk.capacity - ITEM_HEADER_OVERHEAD - len(key):
             old_len = item.value_length
+            if self.onesided is not None:
+                # In-place chunk mutation: open the seqlock window first
+                # (bump-to-odd) so no one-sided reader can accept bytes
+                # torn across this edit, republish (bump-to-even) after.
+                self.onesided.withdraw(item)
             item.set_value(new)
             item.bump_cas()
+            if self.onesided is not None:
+                self.onesided.publish(item)
             self.stats.bytes += len(new) - old_len
         else:  # needs a bigger chunk: full re-store
             flags, exptime = item.flags, item.exptime
@@ -450,8 +468,15 @@ class ItemStore:
         self.stats.total_items += 1
         self.stats.curr_items += 1
         self.stats.bytes += item.total_bytes
+        if self.onesided is not None:
+            self.onesided.publish(item)
 
     def _unlink(self, item: Item) -> None:
+        if self.onesided is not None:
+            # Invalidate before the chunk returns to the free list: no
+            # exported entry may ever name a reusable chunk (eviction and
+            # slab rebalancing both route through here).
+            self.onesided.unpublish(item)
         self.table.remove(item.key)
         self.lru.unlink(item)
         item.linked = False

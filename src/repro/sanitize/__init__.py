@@ -13,6 +13,9 @@ Sanitizer                         Catches
 :mod:`repro.sanitize.determinism`                  event-stream divergence between
                                                    identical runs
 :class:`~repro.sanitize.slabs.SlabSanitizer`       slab/item byte-accounting drift
+:class:`~repro.sanitize.export.ExportSanitizer`    one-sided index drift: stale/torn
+                                                   exported entries, live entries
+                                                   over freed chunks
 ===============================  =================================================
 
 Everything is off by default; :class:`SanitizerConfig` turns the hook-based
@@ -43,9 +46,11 @@ from repro.sanitize.errors import (
     BufferSanitizerError,
     CqSanitizerError,
     DeterminismError,
+    ExportIndexError,
     SanitizerError,
     SlabAccountingError,
 )
+from repro.sanitize.export import ExportSanitizer
 from repro.sanitize.slabs import SlabSanitizer
 
 __all__ = [
@@ -56,6 +61,8 @@ __all__ = [
     "CqSanitizerError",
     "DeterminismError",
     "EventDigest",
+    "ExportIndexError",
+    "ExportSanitizer",
     "SanitizerConfig",
     "SanitizerCounters",
     "SanitizerError",

@@ -28,3 +28,8 @@ class DeterminismError(SanitizerError):
 
 class SlabAccountingError(SanitizerError):
     """Slab/item byte accounting diverged from the live item population."""
+
+
+class ExportIndexError(SanitizerError):
+    """The exported one-sided index diverged from the live store (stale
+    or torn entry, live entry over a freed chunk, mirror/region drift)."""

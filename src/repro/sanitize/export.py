@@ -1,0 +1,133 @@
+"""Exported-index sanitizer (the one-sided GET path's ground truth).
+
+Cross-checks a store's :class:`~repro.memcached.onesided.index.ExportedIndex`
+against the live item population and the pinned region remote clients
+actually read.  Invariants:
+
+1. at rest (between store operations) no entry is mid-mutation: every
+   version is even -- an odd version here means a seqlock bracket was
+   opened and never closed;
+2. every *live* entry (stable, non-zero hash) has an owner item that is
+   still linked, hashes to that entry's ``key_hash``, and whose chunk is
+   marked used -- a live entry over a freed chunk is the one-sided
+   use-after-free in the making (the remote reader would serve dead or
+   re-carved bytes with a perfectly even version);
+3. a live entry's value location (rkey/offset/length) and cas match the
+   owner item's chunk and metadata exactly;
+4. an owner without a live entry (or vice versa) is bookkeeping drift;
+5. the exported region's bytes equal the re-packed Python mirror for
+   every bucket -- a mirror mutation that skipped the seqlock write
+   path diverges here immediately.
+
+Any of these firing *before* a client reads the bucket is the point:
+the sanitizer sees the corruption at the mutation checkpoint, not two
+hundred operations later when a differential replay finally mismatches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.memcached.onesided.layout import hash64, pack_entry
+from repro.sanitize.errors import ExportIndexError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.counters import SanitizerCounters
+    from repro.memcached.store import ItemStore
+
+
+class ExportSanitizer:
+    """Checkpoint validator for the server's exported one-sided index."""
+
+    __slots__ = ("counters", "strict")
+
+    def __init__(
+        self, counters: Optional["SanitizerCounters"] = None, strict: bool = True
+    ) -> None:
+        self.counters = counters
+        self.strict = strict
+
+    def check(self, store: "ItemStore") -> list[str]:
+        """Validate *store*'s index; returns violations (raises when strict).
+
+        A store without an exported index (sockets-only deployments)
+        passes vacuously.
+        """
+        violations: list[str] = []
+        index = getattr(store, "onesided", None)
+        if index is None:
+            return violations
+
+        for bucket in range(index.n_buckets):
+            slot = index.mirror_entry(bucket)
+            owner = index.owner(bucket)
+            if not slot.stable:
+                violations.append(
+                    f"bucket {bucket}: odd version {slot.version} at rest "
+                    f"(unclosed seqlock bracket)"
+                )
+            if slot.live:
+                if owner is None:
+                    violations.append(
+                        f"bucket {bucket}: live entry with no owner "
+                        f"(invalidation skipped?)"
+                    )
+                else:
+                    violations.extend(self._check_owned(bucket, slot, owner))
+            elif owner is not None:
+                violations.append(
+                    f"bucket {bucket}: owner {owner.key!r} but entry is dead"
+                )
+            exported = index.entry_bytes(bucket)
+            if exported != pack_entry(slot):
+                violations.append(
+                    f"bucket {bucket}: exported bytes diverge from the mirror "
+                    f"(a write bypassed the seqlock helpers)"
+                )
+
+        if self.counters is not None:
+            self.counters.export_checks += 1
+            self.counters.export_violations += len(violations)
+        if violations and self.strict:
+            raise ExportIndexError("; ".join(violations))
+        return violations
+
+    @staticmethod
+    def _check_owned(bucket: int, slot, owner) -> list[str]:
+        """Invariants 2-3 for one (live entry, owner item) pair."""
+        violations: list[str] = []
+        if not owner.linked:
+            violations.append(
+                f"bucket {bucket}: owner {owner.key!r} is unlinked but "
+                f"still exported"
+            )
+        if hash64(owner.key) != slot.key_hash:
+            violations.append(
+                f"bucket {bucket}: entry hash {slot.key_hash:#x} is not "
+                f"owner {owner.key!r}'s"
+            )
+        chunk = owner.chunk
+        if chunk is None or not chunk.used:
+            violations.append(
+                f"bucket {bucket}: live entry over a freed chunk "
+                f"(one-sided use-after-free)"
+            )
+            return violations
+        value_mr, value_offset = chunk.rdma_location()
+        if slot.value_rkey != value_mr.rkey or slot.value_offset != value_offset:
+            violations.append(
+                f"bucket {bucket}: entry points at rkey={slot.value_rkey} "
+                f"off={slot.value_offset} but owner {owner.key!r} lives at "
+                f"rkey={value_mr.rkey} off={value_offset}"
+            )
+        if slot.value_length != owner.value_length:
+            violations.append(
+                f"bucket {bucket}: entry length {slot.value_length} != "
+                f"owner {owner.key!r} length {owner.value_length}"
+            )
+        if slot.cas != owner.cas:
+            violations.append(
+                f"bucket {bucket}: entry cas {slot.cas} != owner "
+                f"{owner.key!r} cas {owner.cas}"
+            )
+        return violations

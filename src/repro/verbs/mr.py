@@ -13,6 +13,7 @@ with the wrong rkey or insufficient permissions fails with
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.verbs.enums import Access
@@ -22,6 +23,19 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 _pd_ids = itertools.count(1)
 _keys = itertools.count(0x1000)
+
+
+@dataclass(frozen=True, slots=True)
+class RegionDescriptor:
+    """Out-of-band advertisement of an exported region (rkey + geometry).
+
+    What a server hands to remote peers so they can target the region
+    with one-sided operations -- the moral equivalent of exchanging
+    ``(rkey, addr, len)`` during connection setup on real verbs.
+    """
+
+    rkey: int
+    size: int
 
 
 class ProtectionDomain:
@@ -75,6 +89,12 @@ class MemoryRegion:
     @property
     def valid(self) -> bool:
         return self._valid
+
+    def describe(self) -> RegionDescriptor:
+        """The advertisement remote peers need to READ/WRITE this region."""
+        if Access.REMOTE_READ not in self.access and Access.REMOTE_WRITE not in self.access:
+            raise PermissionError("describing a region with no remote permissions")
+        return RegionDescriptor(rkey=self.rkey, size=self.size)
 
     # -- local access (used by the software layers) ---------------------------
 

@@ -61,7 +61,9 @@ _PLAIN_MUTATIONS = ("delete-lies", "incr-off-by-one", "set-truncates")
 
 def test_pressure_mutations_are_registered():
     assert set(_PLAIN_MUTATIONS) | {
-        "skip-eviction-counter", "double-free-on-rebalance"
+        "skip-eviction-counter",
+        "double-free-on-rebalance",
+        "onesided-skip-version-bump",
     } == set(MUTATIONS)
 
 
@@ -79,6 +81,36 @@ def test_injected_mutations_are_caught_and_shrink_small(mutation):
     small = shrink_commands(commands, failing)
     assert 1 <= len(small) <= 10
     assert failing(small)
+
+
+def test_onesided_mutation_is_caught_and_shrinks_small():
+    """Skipping the index invalidation's version bump is invisible to
+    RPC transports but serves a dead value on the one-sided config; the
+    counterexample shrinks to a set/delete/get triangle."""
+    onesided = CONFIGS[-1]
+    assert onesided[0] == "UCR-1S"
+    mutation = "onesided-skip-version-bump"
+    # Seed 8 produces a set -> delete -> read window with no intervening
+    # flush or republish of the bucket, which the bug needs to show.
+    commands = generate_commands(8, 80)
+    result = replay_sequential(onesided, commands, mutation=mutation)
+    assert not result.ok, f"{mutation} not detected"
+
+    def failing(sub):
+        return not replay_sequential(onesided, sub, mutation=mutation).ok
+
+    small = shrink_commands(commands, failing)
+    assert 1 <= len(small) <= 10
+    assert failing(small)
+    assert {cmd.op for cmd in small} <= {"set", "delete", "get", "gets"}
+
+
+def test_onesided_mutation_is_invisible_to_rpc_transports():
+    """The same bug on an active-message config never surfaces: RPC
+    answers come from the authoritative store, not the index."""
+    commands = generate_commands(8, 80)
+    result = replay_sequential(UCR, commands, mutation="onesided-skip-version-bump")
+    assert result.ok
 
 
 def test_dump_and_load_roundtrip(tmp_path):

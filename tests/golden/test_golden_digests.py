@@ -25,7 +25,8 @@ GOLDEN = json.loads(GOLDEN_PATH.read_text())
 
 def test_golden_file_covers_the_figures():
     assert set(GOLDEN) == {
-        "3", "4", "5", "6", "6s", "breakdown", "pipeline", "pressure",
+        "3", "4", "5", "6", "6s", "breakdown", "onesided", "pipeline",
+        "pressure",
     }
     for name, entry in GOLDEN.items():
         assert set(entry) == {"digest", "events"}

@@ -1,9 +1,9 @@
 """Clean counterparts: none of these may produce a flow finding.
 
-Every function here walks right up to an L008-L011 hazard and then does
+Every function here walks right up to an L008-L012 hazard and then does
 the correct thing; the test asserts the flow rules report nothing, which
 pins the rules' false-positive controls (re-reads, stable terminals,
-destructive reads, escapes, finally protection).
+destructive reads, escapes, finally protection, seqlock bracketing).
 """
 
 from repro.verbs.enums import QpState
@@ -97,3 +97,35 @@ def no_yield_while_held(sim, res):
     finally:
         res.release(req)
     yield sim.timeout(1.0)
+
+
+class CleanIndex:
+    """Seqlock access patterns L012 must accept."""
+
+    def bracketed_publish(self, bucket, item):
+        """The index's own idiom: every field store sits inside the
+        seq_begin/seq_end window (L012)."""
+        slot = self._mirror[bucket]
+        self.seq_begin(bucket)
+        slot.key_hash = 7
+        slot.value_length = item.value_length
+        slot.cas = item.cas
+        slot.deadline_us = 0
+        self.seq_end(bucket)
+
+    def seq_begin(self, bucket):
+        """The helpers themselves may move the version (L012)."""
+        slot = self._mirror[bucket]
+        if slot.version % 2 == 0:
+            slot.version += 1
+
+    def seq_end(self, bucket):
+        slot = self._mirror[bucket]
+        slot.version += 1
+
+    def unrelated_same_named_fields(self, item, flags):
+        """Field names overlap the entry layout, but *item* never came
+        from index state -- not L012's business."""
+        item.flags = flags
+        item.cas = 9
+        item.value_length = 4

@@ -1,0 +1,47 @@
+"""Seeded L012 hazards: exported-index writes outside the seqlock.
+
+Each ``HAZARD`` marker sits on the exact line of an entry-field store a
+remote RDMA READ could race: no bracket open yet, a bracket closed too
+early or only on some paths, a hand-rolled version bump, and a store
+through the shared chain with no checkable bracketing at all.
+"""
+
+
+class LeakyIndex:
+    def publish_without_bracket(self, bucket, item):
+        """Fields stored before seq_begin ever runs: a reader sees a
+        half-new entry under a stable (even) version."""
+        slot = self._mirror[bucket]
+        slot.key_hash = 7  # HAZARD: L012
+        slot.value_length = item.value_length  # HAZARD: L012
+        self.seq_begin(bucket)
+        slot.flags = 1
+        self.seq_end(bucket)
+
+    def closes_too_early(self, bucket):
+        """seq_end re-opens the race for everything after it."""
+        slot = self._mirror[bucket]
+        self.seq_begin(bucket)
+        slot.cas = 3
+        self.seq_end(bucket)
+        slot.deadline_us = 0  # HAZARD: L012
+
+    def hand_rolled_version(self, bucket):
+        """The version is the lock; only the helpers may move it."""
+        slot = self._mirror[bucket]
+        self.seq_begin(bucket)
+        slot.version += 2  # HAZARD: L012
+        self.seq_end(bucket)
+
+    def bracket_on_some_paths(self, bucket, fast):
+        """An any-path hazard: the fast path skips the bracket."""
+        slot = self._mirror[bucket]
+        if not fast:
+            self.seq_begin(bucket)
+        slot.value_rkey = 9  # HAZARD: L012
+        if not fast:
+            self.seq_end(bucket)
+
+    def direct_chain_store(self, bucket):
+        """Unbindable shape: nothing to track a bracket against."""
+        self._mirror[bucket].cas = 0  # HAZARD: L012

@@ -1,4 +1,4 @@
-"""The dataflow rules L008-L011 against seeded-hazard fixtures.
+"""The dataflow rules L008-L012 against seeded-hazard fixtures.
 
 Mutation-style: every ``# HAZARD: L0XX`` marker in a fixture module must
 be reported *at that exact line*, and nothing else may be reported.  The
@@ -37,7 +37,7 @@ def _findings(path):
     return {(f.rule_id, f.line) for f in report.findings}
 
 
-@pytest.mark.parametrize("name", ["l008", "l009", "l010", "l011"])
+@pytest.mark.parametrize("name", ["l008", "l009", "l010", "l011", "l012"])
 def test_each_seeded_hazard_caught_at_its_exact_line(name):
     path = FIXTURES / f"hazard_{name}.py"
     expected = _expected_markers(path)
@@ -161,6 +161,64 @@ def test_l011_flags_the_grant_yield_itself(tmp_path):
     assert findings[0].line == 3
 
 
+def test_l012_requires_bracket_on_every_path(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        def publish(self, bucket, fast):
+            slot = self._mirror[bucket]
+            if not fast:
+                self.seq_begin(bucket)
+            slot.cas = 3
+            if not fast:
+                self.seq_end(bucket)
+        """,
+    )
+    assert [f.rule_id for f in findings] == ["L012"]
+    assert findings[0].line == 6
+
+
+def test_l012_accepts_the_bracketed_idiom(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        def publish(self, bucket, item):
+            slot = self._mirror[bucket]
+            self.seq_begin(bucket)
+            slot.key_hash = 7
+            slot.cas = item.cas
+            self.seq_end(bucket)
+        """,
+    )
+    assert findings == []
+
+
+def test_l012_ignores_untracked_receivers(tmp_path):
+    """Entry-layout field names on arbitrary objects are not index
+    slots; only locals bound from onesided state are held to the lock."""
+    findings = _lint_source(
+        tmp_path,
+        """
+        def stamp(self, item):
+            item.flags = 1
+            item.cas = 2
+        """,
+    )
+    assert findings == []
+
+
+def test_l012_exempts_the_seqlock_helpers(tmp_path):
+    findings = _lint_source(
+        tmp_path,
+        """
+        def seq_begin(self, bucket):
+            slot = self._mirror[bucket]
+            slot.version += 1
+        """,
+    )
+    assert findings == []
+
+
 def test_flow_rules_apply_to_test_scope_too(tmp_path):
     findings = _lint_source(
         tmp_path,
@@ -186,6 +244,9 @@ def test_registry_classifies_known_chains():
     assert _chain("self.ring._nodes") == ("ring", "self.ring._nodes")
     assert _chain("self.store.table")[0] == "store"
     assert _chain("qp._recv_queue")[0] == "qp"
+    assert _chain("self._mirror")[0] == "onesided"
+    assert _chain("store.onesided")[0] == "onesided"
+    assert _chain("server.onesided_index")[0] == "onesided"
 
 
 def test_stable_terminals_are_exempt():

@@ -1,0 +1,371 @@
+"""The one-sided GET path: layout, seqlock, fallbacks, torn reads.
+
+Four layers of the new subsystem under test:
+
+- the packed entry/header layout round-trips exactly (Hypothesis over
+  the full field ranges);
+- the happy path serves hits with RDMA READs and zero RPC;
+- every rung of the fallback ladder (absent / expired / oversize /
+  torn) lands on the authoritative RPC path;
+- a READ parked across the server's mutation window can never be
+  *served*: the seqlock confirm detects the tear and the client either
+  retries to the new value or falls back -- spliced bytes are
+  impossible by construction.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.check.history import check_history, recorder
+from repro.cluster import CLUSTER_A, Cluster
+from repro.memcached.onesided import (
+    ENTRY_BYTES,
+    HEADER_BYTES,
+    INDEX_MAGIC,
+    IndexEntry,
+    OneSidedClient,
+    OneSidedShardedClient,
+    entry_offset,
+    hash64,
+    pack_entry,
+    pack_header,
+    unpack_entry,
+    unpack_header,
+)
+from repro.sanitize import ExportIndexError, ExportSanitizer
+
+
+# ---------------------------------------------------------------- layout
+
+
+entries = st.builds(
+    IndexEntry,
+    version=st.integers(min_value=0, max_value=2**64 - 1),
+    key_hash=st.integers(min_value=0, max_value=2**64 - 1),
+    value_rkey=st.integers(min_value=0, max_value=2**32 - 1),
+    value_offset=st.integers(min_value=0, max_value=2**32 - 1),
+    value_length=st.integers(min_value=0, max_value=2**32 - 1),
+    flags=st.integers(min_value=0, max_value=2**32 - 1),
+    cas=st.integers(min_value=0, max_value=2**64 - 1),
+    deadline_us=st.integers(min_value=0, max_value=2**64 - 1),
+)
+
+
+@given(entry=entries)
+@settings(max_examples=200, deadline=None)
+def test_entry_pack_unpack_roundtrip(entry):
+    packed = pack_entry(entry)
+    assert len(packed) == ENTRY_BYTES
+    assert unpack_entry(packed) == entry
+
+
+@given(n_buckets=st.integers(min_value=1, max_value=2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_header_pack_unpack_roundtrip(n_buckets):
+    packed = pack_header(n_buckets)
+    assert len(packed) == HEADER_BYTES
+    assert unpack_header(packed) == (INDEX_MAGIC, n_buckets)
+
+
+@given(key=st.text(min_size=0, max_size=64))
+@settings(max_examples=200, deadline=None)
+def test_hash64_never_collides_with_empty(key):
+    """0 marks an empty bucket, so no key may hash to it."""
+    digest = hash64(key)
+    assert digest != 0
+    assert 0 < digest < 2**64
+    assert hash64(key) == digest  # deterministic
+
+
+def test_entry_offsets_are_disjoint_and_aligned():
+    offsets = [entry_offset(b) for b in range(8)]
+    assert offsets[0] == HEADER_BYTES
+    assert all(b - a == ENTRY_BYTES for a, b in zip(offsets, offsets[1:]))
+
+
+def test_stability_and_liveness_predicates():
+    assert IndexEntry(version=2, key_hash=5).live
+    assert not IndexEntry(version=3, key_hash=5).stable
+    assert not IndexEntry(version=2, key_hash=0).live  # empty bucket
+
+
+# ---------------------------------------------------------------- rig
+
+
+@pytest.fixture()
+def cluster():
+    cluster = Cluster(CLUSTER_A, n_client_nodes=2)
+    cluster.start_server()
+    return cluster
+
+
+def run(cluster, gen):
+    p = cluster.sim.process(gen)
+    cluster.sim.run()
+    assert p.processed
+    return p.value
+
+
+# ---------------------------------------------------------------- hits
+
+
+def test_hit_is_served_by_reads_without_rpc(cluster):
+    client = cluster.client("UCR-1S")
+    assert isinstance(client, OneSidedClient)
+    t = client.transport
+
+    def scenario():
+        yield from client.set("k", b"payload", flags=3)
+        value = yield from client.get("k")
+        pair = yield from client.gets("k")
+        return value, pair
+
+    value, pair = run(cluster, scenario())
+    assert value == b"payload"
+    assert pair[0] == b"payload" and pair[1] > 0
+    assert t.onesided_hits == 2
+    # probe + value + confirm per hit, nothing torn, nothing fallen back
+    assert t.onesided_reads == 6
+    assert t.torn_retries == 0
+    assert t.fallbacks == {}
+
+
+def test_hit_tracks_inplace_arithmetic(cluster):
+    """incr/decr edit the chunk in place; the republished entry (new
+    cas, same location) must serve the fresh bytes."""
+    client = cluster.client("UCR-1S")
+
+    def scenario():
+        yield from client.set("n", b"10")
+        yield from client.incr("n", 5)
+        return (yield from client.get("n"))
+
+    assert run(cluster, scenario()) == b"15"
+    assert client.transport.onesided_hits == 1
+
+
+def test_touch_refreshes_the_exported_deadline(cluster):
+    client = cluster.client("UCR-1S")
+    sim = cluster.sim
+
+    def scenario():
+        yield from client.set("k", b"v", exptime=1)
+        yield from client.touch("k", 30)
+        yield sim.timeout(2_000_000)  # past the original deadline
+        return (yield from client.get("k"))
+
+    assert run(cluster, scenario()) == b"v"
+    assert client.transport.fallbacks.get("expired", 0) == 0
+
+
+# ------------------------------------------------------------- fallbacks
+
+
+def test_miss_falls_back_to_rpc(cluster):
+    client = cluster.client("UCR-1S")
+
+    def scenario():
+        return (yield from client.get("never-set"))
+
+    assert run(cluster, scenario()) is None
+    assert client.transport.fallbacks == {"absent": 1}
+    assert client.transport.onesided_hits == 0
+
+
+def test_deleted_key_is_absent_not_stale(cluster):
+    client = cluster.client("UCR-1S")
+
+    def scenario():
+        yield from client.set("k", b"v")
+        yield from client.delete("k")
+        return (yield from client.get("k"))
+
+    assert run(cluster, scenario()) is None
+    assert client.transport.fallbacks == {"absent": 1}
+
+
+def test_expired_entry_falls_back_and_misses(cluster):
+    client = cluster.client("UCR-1S")
+    sim = cluster.sim
+
+    def scenario():
+        yield from client.set("k", b"v", exptime=1)
+        yield sim.timeout(2_000_000)
+        return (yield from client.get("k"))
+
+    assert run(cluster, scenario()) is None
+    assert client.transport.fallbacks == {"expired": 1}
+
+
+def test_flush_invalidates_every_entry(cluster):
+    client = cluster.client("UCR-1S")
+
+    def scenario():
+        yield from client.set("k", b"v")
+        yield from client.flush_all()
+        return (yield from client.get("k"))
+
+    assert run(cluster, scenario()) is None
+    assert client.transport.fallbacks == {"absent": 1}
+
+
+def test_oversized_value_rides_rpc(cluster):
+    client = cluster.client("UCR-1S")
+    client.transport.max_value_bytes = 64
+
+    def scenario():
+        yield from client.set("big", b"x" * 100)
+        return (yield from client.get("big"))
+
+    assert run(cluster, scenario()) == b"x" * 100
+    assert client.transport.fallbacks == {"oversize": 1}
+    assert client.transport.onesided_hits == 0
+
+
+# ------------------------------------------------------------ torn reads
+
+
+def _fire_between_stages(transport, stage, action, times=1):
+    """Arm the transport's checkpoint hook: run *action* (a synchronous
+    server-side mutation) the first *times* the named stage is crossed."""
+    state = {"left": times}
+
+    def checkpoint(at, server, key):
+        if at == stage and state["left"] > 0:
+            state["left"] -= 1
+            action()
+        return
+        yield  # pragma: no cover - generator shape for yield-from
+
+    transport.checkpoint = checkpoint
+    return state
+
+
+def test_read_parked_across_overwrite_retries_to_new_value(cluster):
+    """The server rewrites the key after the client's value READ; the
+    confirm READ must reject the fetch and the retry must serve the
+    *new* value -- never a splice of old and new bytes."""
+    client = cluster.client("UCR-1S")
+    store = cluster.server.store
+    t = client.transport
+
+    def scenario():
+        yield from client.set("k", b"old-value")
+        _fire_between_stages(t, "value", lambda: store.set("k", b"new-value"))
+        return (yield from client.get("k"))
+
+    value = run(cluster, scenario())
+    assert value == b"new-value"  # the post-mutation truth, atomically
+    assert t.torn_retries >= 1
+    assert t.fallbacks == {}
+
+
+def test_read_parked_across_delete_never_serves_dead_bytes(cluster):
+    """Delete lands between the entry probe and the confirm: the retry
+    finds a cleared bucket and the RPC fallback reports the miss."""
+    client = cluster.client("UCR-1S")
+    store = cluster.server.store
+    t = client.transport
+
+    def scenario():
+        yield from client.set("k", b"doomed")
+        _fire_between_stages(t, "entry", lambda: store.delete("k"))
+        return (yield from client.get("k"))
+
+    assert run(cluster, scenario()) is None
+    assert t.fallbacks == {"absent": 1}
+
+
+def test_write_hot_key_exhausts_retries_and_falls_back(cluster):
+    """A mutation in every read window burns all retries; the client
+    stops spinning and asks the server, which answers authoritatively."""
+    client = cluster.client("UCR-1S")
+    store = cluster.server.store
+    t = client.transport
+    counter = {"n": 0}
+
+    def churn():
+        counter["n"] += 1
+        store.set("k", b"gen-%d" % counter["n"])
+
+    def scenario():
+        yield from client.set("k", b"gen-0")
+        _fire_between_stages(t, "value", churn, times=100)
+        return (yield from client.get("k"))
+
+    value = run(cluster, scenario())
+    # Authoritative: whatever generation the server held at RPC time.
+    assert value == b"gen-%d" % counter["n"]
+    assert t.fallbacks == {"torn": 1}
+    assert t.torn_retries == t.max_read_retries + 1
+
+
+# ------------------------------------------------- histories + sanitizer
+
+
+def test_concurrent_onesided_history_is_linearizable(cluster):
+    clients = [cluster.sharded_client("UCR-1S", client_node=i) for i in range(2)]
+    assert all(isinstance(c, OneSidedShardedClient) for c in clients)
+
+    def worker(client, salt):
+        for i in range(30):
+            key = f"key{(i + salt) % 4}"
+            yield from client.set(key, b"v%d" % i)
+            got = yield from client.get(key)
+            assert got is not None
+
+    with recorder.recording():
+        for i, client in enumerate(clients):
+            cluster.sim.process(worker(client, i))
+        cluster.sim.run()
+        records = list(recorder.records)
+
+    result = check_history(records, by_server=True)
+    assert result.ok, result.failures
+    assert sum(c.transport.onesided_hits for c in clients) > 0
+
+
+def test_export_sanitizer_accepts_a_live_workload(cluster):
+    client = cluster.client("UCR-1S")
+
+    def driver():
+        for i in range(20):
+            yield from client.set(f"key{i % 5}", b"v%d" % i, flags=i)
+        yield from client.delete("key1")
+
+    run(cluster, driver())
+    assert ExportSanitizer().check(cluster.server.store) == []
+
+
+def test_export_sanitizer_flags_skipped_invalidation(cluster):
+    """The seeded MUTATIONS bug, caught structurally: unpublish without
+    the seqlock bump leaves a live, ownerless entry behind."""
+    from repro.check.differential import MUTATIONS
+
+    client = cluster.client("UCR-1S")
+    store = cluster.server.store
+    MUTATIONS["onesided-skip-version-bump"](store)
+
+    def scenario():
+        yield from client.set("k", b"doomed")
+        yield from client.delete("k")
+
+    run(cluster, scenario())
+    with pytest.raises(ExportIndexError, match="no owner"):
+        ExportSanitizer().check(store)
+
+
+def test_export_sanitizer_flags_mirror_region_drift(cluster):
+    client = cluster.client("UCR-1S")
+    store = cluster.server.store
+
+    def scenario():
+        yield from client.set("k", b"v")
+
+    run(cluster, scenario())
+    index = store.onesided
+    slot = index.mirror_entry(index.bucket_for("k"))
+    slot.flags += 1  # mutate the mirror without the seqlock write path
+    violations = ExportSanitizer(strict=False).check(store)
+    assert any("diverge" in v for v in violations)
