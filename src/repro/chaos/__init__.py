@@ -23,6 +23,12 @@ from repro.chaos.faults import (
     NodeCrash,
     SlowServer,
 )
+from repro.chaos.scenarios import (
+    ServingScenario,
+    expiry_stampede,
+    hot_key_storm,
+    shard_loss,
+)
 from repro.chaos.schedule import (
     FaultSchedule,
     ScheduleSyntaxError,
@@ -39,7 +45,11 @@ __all__ = [
     "LinkDegrade",
     "NodeCrash",
     "ScheduleSyntaxError",
+    "ServingScenario",
     "SlowServer",
+    "expiry_stampede",
+    "hot_key_storm",
     "parse_schedule",
     "random_schedule",
+    "shard_loss",
 ]

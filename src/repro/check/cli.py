@@ -172,7 +172,12 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     failures = 0
     for seed in range(args.seed, args.seed + args.seeds):
         commands = generate_commands(
-            seed, args.ops, n_keys=32 if pressure else 8, pressure=pressure
+            seed,
+            args.ops,
+            n_keys=32 if pressure else 8,
+            pressure=pressure,
+            zipf=args.zipf,
+            lease=args.lease,
         )
         diff = differential_run(
             commands,
@@ -314,6 +319,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="TEST-ONLY: inject a named store bug (see MUTATIONS)",
     )
     fuzz.add_argument("--config", action="append", metavar="NAME")
+    fuzz.add_argument(
+        "--lease", action="store_true",
+        help="lease mode: mix in getl/setl, longer sleeps and more "
+        "expiring stores so sequences cross lease TTLs and stale windows",
+    )
+    fuzz.add_argument(
+        "--zipf", action="store_true",
+        help="Zipf-skewed key draws (hot-key mode) instead of uniform",
+    )
     fuzz.add_argument(
         "--pressure", action="store_true",
         help="fuzz against 2 MiB stores with slab-edge values",

@@ -91,10 +91,13 @@ class Command:
     #: cas commands name their token symbolically: 'last' (the token of
     #: the most recent gets on this key) or 'bogus' (never valid) --
     #: raw tokens come from a process-global counter and would not
-    #: replay.
+    #: replay.  'setl' (a lease-carrying fill) resolves 'last' against
+    #: the most recent *won* getl on the key instead.
     token_ref: str = "last"
     #: 'sleep' pseudo-op: advance the sim clock (integer seconds).
     sleep_s: int = 0
+    #: 'getl': ask for the stale ghost on a lost/won lease.
+    stale_ok: bool = True
 
     def to_json(self) -> dict:
         return {
@@ -106,6 +109,7 @@ class Command:
             "delta": self.delta,
             "token_ref": self.token_ref,
             "sleep_s": self.sleep_s,
+            "stale_ok": self.stale_ok,
         }
 
     @classmethod
@@ -119,6 +123,7 @@ class Command:
             delta=d.get("delta", 1),
             token_ref=d.get("token_ref", "last"),
             sleep_s=d.get("sleep_s", 0),
+            stale_ok=d.get("stale_ok", True),
         )
 
 
@@ -149,6 +154,10 @@ _PRESSURE_OPS = (
     "append", "prepend", "delete", "incr", "decr", "touch", "cas",
     "sleep",
 )
+
+#: Extra ops mixed in by lease mode: get-with-lease reads plus
+#: lease-carrying fills (the anti-dogpile surface, docs/SERVING.md).
+_LEASE_OPS = ("getl", "getl", "setl")
 
 
 def _value_pool(rng: RngStream) -> list[bytes]:
@@ -204,6 +213,8 @@ def generate_commands(
     concurrent: bool = False,
     with_expiry: bool = True,
     pressure: bool = False,
+    zipf: bool = False,
+    lease: bool = False,
 ) -> list[Command]:
     """Draw *n* commands from a seeded stream (bit-for-bit reproducible).
 
@@ -212,6 +223,12 @@ def generate_commands(
     recorded multi-client history is checkable.  With ``pressure=True``
     the value pool switches to slab-edge large values (run against a
     :data:`PRESSURE_STORE_CONFIG` store to force evictions and OOMs).
+
+    ``zipf=True`` skews key choice hot (Zipf 0.99 over the pool, the
+    hot-key-storm shape); ``lease=True`` mixes in get-with-lease reads
+    and lease-carrying fills, makes expiry twice as likely, and
+    lengthens sleeps so sequences cross lease TTLs and stale windows.
+    Both default off, so pre-existing seeds replay bit-identically.
     """
     rng = RngStream(seed, "check.generate")
     keys = _key_pool(rng, n_keys)
@@ -222,18 +239,26 @@ def generate_commands(
         ops = _PRESSURE_OPS
     else:
         ops = _SEQ_OPS
+    if lease:
+        ops = ops + _LEASE_OPS
+    expiry_p = 0.5 if lease else 0.25
     out: list[Command] = []
     for _ in range(n):
         op = rng.choice(ops)
-        key = rng.choice(keys)
+        if zipf:
+            key = keys[rng.zipf_index(len(keys), 0.99)]
+        else:
+            key = rng.choice(keys)
         if op == "sleep":
-            out.append(Command(op="sleep", sleep_s=rng.randint(1, 4)))
+            out.append(
+                Command(op="sleep", sleep_s=rng.randint(1, 9 if lease else 4))
+            )
             continue
         cmd = Command(op=op, key=key)
-        if op in ("set", "add", "replace", "cas"):
+        if op in ("set", "add", "replace", "cas", "setl"):
             cmd.value = rng.choice(values)
             cmd.flags = rng.randint(0, 2**16)
-            if with_expiry and not concurrent and rng.uniform() < 0.25:
+            if with_expiry and not concurrent and rng.uniform() < expiry_p:
                 cmd.exptime = rng.randint(1, 5)
         elif op in ("append", "prepend"):
             cmd.value = rng.choice(values[:8])  # keep concats bounded
@@ -246,7 +271,9 @@ def generate_commands(
                 cmd.exptime = rng.choice((0, 1, 3))
         elif op == "flush_all":
             cmd.exptime = rng.choice((0, 0, 2))
-        if op == "cas":
+        elif op == "getl":
+            cmd.stale_ok = rng.uniform() < 0.75
+        if op in ("cas", "setl"):
             cmd.token_ref = "last" if rng.uniform() < 0.8 else "bogus"
         out.append(cmd)
     return out
@@ -265,6 +292,18 @@ def _normalize(result, cas_map: dict[int, int]):
         value, cas = result  # a gets() hit: (value, raw cas token)
         token = cas_map.setdefault(cas, len(cas_map))
         return [_normalize(value, cas_map), f"cas#{token}"]
+    if isinstance(result, tuple) and len(result) == 3:
+        # A get_lease miss verdict: (state, stale_value, lease_token).
+        # Lease tokens are canonicalized like cas tokens, namespaced so
+        # the two counters cannot collide in the shared first-occurrence
+        # map.
+        state, stale_value, token = result
+        label = (
+            f"lease#{cas_map.setdefault(('lease', token), len(cas_map))}"
+            if token
+            else None
+        )
+        return [state, _normalize(stale_value, cas_map), label]
     return result
 
 
@@ -309,6 +348,20 @@ def _run_client_op(client, cmd: Command, last_cas: dict[str, int]):
             result = yield from client.gets(cmd.key)
             if result is not None:
                 last_cas[cmd.key] = result[1]
+        elif op == "getl":
+            result = yield from client.get_lease(cmd.key, cmd.stale_ok)
+            if isinstance(result, tuple) and result[0] == "won":
+                # Composite key: lease tokens live beside cas tokens.
+                last_cas["lease:" + cmd.key] = result[2]
+        elif op == "setl":
+            token = (
+                last_cas.get("lease:" + cmd.key, BOGUS_CAS)
+                if cmd.token_ref == "last"
+                else BOGUS_CAS
+            )
+            result = yield from client.set_with_lease(
+                cmd.key, cmd.value, token, cmd.flags, cmd.exptime
+            )
         elif op == "delete":
             result = yield from client.delete(cmd.key)
         elif op in ("incr", "decr"):
@@ -355,6 +408,24 @@ def _run_oracle_op(oracle: ModelMemcached, cmd: Command, last_cas: dict[str, int
             else:
                 last_cas[cmd.key] = hit.cas
                 result = (hit.value, hit.cas)
+        elif op == "getl":
+            state, hit, token = oracle.getl(cmd.key, cmd.stale_ok)
+            if state == "hit":
+                result = hit.value
+            else:
+                if state == "won":
+                    last_cas["lease:" + cmd.key] = token
+                result = (state, hit.value if hit is not None else None, token)
+        elif op == "setl":
+            token = (
+                last_cas.get("lease:" + cmd.key, BOGUS_CAS)
+                if cmd.token_ref == "last"
+                else BOGUS_CAS
+            )
+            result = oracle.set_with_lease(
+                cmd.key, cmd.value, token, cmd.flags, cmd.exptime
+            )
+            result = result == "stored"
         elif op == "delete":
             result = oracle.delete(cmd.key)
         elif op in ("incr", "decr"):
@@ -452,6 +523,24 @@ def _mutate_onesided_skip_version_bump(store) -> None:
     index.unpublish = unpublish
 
 
+def _mutate_lease_serve_stale_past_deadline(store) -> None:
+    # Anti-dogpile bug: the stale window stops being enforced, so getl
+    # hands lease losers (and winners) arbitrarily old ghosts -- a
+    # value expired minutes ago still rides back as "stale" data.  The
+    # oracle's window-respecting _stale_servable disagrees the first
+    # time a sequence sleeps past exptime + stale_window_s and reads
+    # the key with a stale-tolerant getl.
+    orig = store._stale_servable
+
+    def _stale_servable(item, now):
+        verdict = orig(item, now)
+        if not verdict and not store._is_flushed(item) and item.exptime > 0:
+            return True  # deadline ignored: serve it anyway
+        return verdict
+
+    store._stale_servable = _stale_servable
+
+
 #: name -> patcher(store).  Applied to a live cluster's store by
 #: replay_sequential(mutation=...); TEST-ONLY, never in production paths.
 MUTATIONS: dict[str, Callable] = {
@@ -461,6 +550,7 @@ MUTATIONS: dict[str, Callable] = {
     "skip-eviction-counter": _mutate_skip_eviction_counter,
     "double-free-on-rebalance": _mutate_double_free_on_rebalance,
     "onesided-skip-version-bump": _mutate_onesided_skip_version_bump,
+    "lease-serve-stale-past-deadline": _mutate_lease_serve_stale_past_deadline,
 }
 
 
@@ -521,13 +611,18 @@ def replay_sequential(
     store actually reported, so silent key loss still mismatches.
     """
     name, transport, binary = config
+    sc = store_config or StoreConfig()
     cluster = _build_cluster(seed=seed)
-    cluster.start_server(store_config=store_config or StoreConfig())
+    cluster.start_server(store_config=sc)
     store = cluster.server.store
     if mutation is not None:
         MUTATIONS[mutation](store)
     client = cluster.client(transport, binary=binary)
-    oracle = ModelMemcached(lambda: cluster.sim.now / 1e6)
+    oracle = ModelMemcached(
+        lambda: cluster.sim.now / 1e6,
+        lease_ttl_s=sc.lease_ttl_s,
+        stale_window_s=sc.stale_window_s,
+    )
     result = ReplayResult(config=name)
     client_cas: dict[str, int] = {}
     oracle_cas: dict[str, int] = {}

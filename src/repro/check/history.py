@@ -92,6 +92,11 @@ class OpRecord:
     completed_us: Optional[float] = None  # None while pending / when lost
     status: str = "pending"  # pending | complete | fail | lost
     outcome: Any = None  # normalized result; ("error", kind) for fail
+    #: Serving-layer riders ("lease-won", "lease-lost", "lease-denied",
+    #: "stale", "cached"): the op was served outside strict register
+    #: semantics (a stale value, a client-local cache, a refused lease
+    #: fill) and the checker treats it leniently (observed, no effect).
+    annotations: tuple = ()
 
     @property
     def completion_instant(self) -> float:
@@ -153,13 +158,20 @@ class HistoryRecorder:
         return rec
 
     def complete(
-        self, rec: OpRecord, outcome: Any, now_us: float, server: Optional[str]
+        self,
+        rec: OpRecord,
+        outcome: Any,
+        now_us: float,
+        server: Optional[str],
+        annotations: tuple = (),
     ) -> None:
         """Close *rec* with a successful response."""
         rec.status = "complete"
         rec.outcome = outcome
         rec.completed_us = now_us
         rec.server = server
+        if annotations:
+            rec.annotations = tuple(annotations)
 
     def fail(
         self, rec: OpRecord, kind: str, now_us: float, server: Optional[str]
@@ -226,20 +238,24 @@ def history_digest(records: Iterable[OpRecord]) -> str:
         args = tuple(
             a.decode("latin-1") if isinstance(a, bytes) else a for a in rec.args
         )
-        rows.append(
-            [
-                rec.op_id,
-                rec.client,
-                rec.op,
-                rec.key,
-                list(args),
-                rec.invoked_us,
-                rec.completed_us,
-                rec.status,
-                rec.server,
-                _canonical_outcome(rec.outcome, cas_map),
-            ]
-        )
+        row = [
+            rec.op_id,
+            rec.client,
+            rec.op,
+            rec.key,
+            list(args),
+            rec.invoked_us,
+            rec.completed_us,
+            rec.status,
+            rec.server,
+            _canonical_outcome(rec.outcome, cas_map),
+        ]
+        if rec.annotations:
+            # Appended only when present, so annotation-free histories
+            # digest bit-identically to recordings made before the
+            # serving layer existed.
+            row.append(list(rec.annotations))
+        rows.append(row)
     blob = json.dumps(rows, sort_keys=False, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
@@ -307,6 +323,12 @@ def _transition(rec: OpRecord, state: Optional[bytes]):
         if op == "touch":
             return rec.status != "fail" and outcome is False, state
         return rec.status == "fail" and outcome == ("error", "client"), state
+    if rec.annotations:
+        # Serving-layer record: a stale/lease-annotated miss, a
+        # client-cached read or a denied lease fill.  None of these are
+        # register transitions (expiry and client-local caching have no
+        # register semantics), so accept the observation without effect.
+        return True, state
     if rec.status == "fail":
         # Only arithmetic has a state-dependent client error we model:
         # incr/decr on a present non-numeric (or over-wide) value.

@@ -82,7 +82,12 @@ class ModelMemcached:
     running cluster, or to a manual counter in unit tests.
     """
 
-    def __init__(self, clock: Callable[[], float]) -> None:
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        lease_ttl_s: float = 2.0,
+        stale_window_s: float = 10.0,
+    ) -> None:
         self.clock = clock
         self._items: dict[str, ModelItem] = {}
         self._next_cas = 1
@@ -90,6 +95,12 @@ class ModelMemcached:
         #: Ascending chunk-size table, shared with the slab allocator, so
         #: the incr in-place-vs-restore distinction matches the store.
         self._chunk_sizes = build_chunk_sizes()
+        #: Lease mirror (defaults match StoreConfig): key -> (token,
+        #: expires_at).  Tokens come from a model-local counter, like cas.
+        self.lease_ttl_s = lease_ttl_s
+        self.stale_window_s = stale_window_s
+        self._leases: dict[str, tuple[int, float]] = {}
+        self._next_lease_token = 1
 
     # -- time / validation helpers ---------------------------------------------
 
@@ -163,6 +174,8 @@ class ModelMemcached:
             created_at=self.now_seconds(),
             chunk_capacity=self._chunk_capacity(key, value),
         )
+        # Any successful store settles the fill race (store._link).
+        self._leases.pop(key, None)
 
     # -- storage commands ---------------------------------------------------------
 
@@ -211,6 +224,7 @@ class ModelMemcached:
             created_at=self.now_seconds(),
             chunk_capacity=self._chunk_capacity(key, combined),
         )
+        self._leases.pop(key, None)
         return "stored"
 
     def append(self, key: str, value: bytes) -> str:
@@ -244,11 +258,70 @@ class ModelMemcached:
 
     gets = get
 
+    # -- leases (mirrors store.getl / the engine's fill gate) ---------------------
+
+    def _stale_servable(self, item: ModelItem, now: float) -> bool:
+        if item.created_at < self._flush_before <= now:
+            return False
+        if item.exptime <= 0:
+            return False
+        return now < item.exptime + self.stale_window_s
+
+    def getl(self, key: str, stale_ok: bool = False):
+        """Get-with-lease: ``(state, ModelResult_or_None, token)``.
+
+        Mirrors :meth:`ItemStore.getl` exactly -- in particular the raw
+        table peek: an expired ghost is NOT reaped here (it must stay
+        servable for lease losers), unlike :meth:`_live`'s lazy delete.
+        """
+        self._validate_key(key)
+        item = self._items.get(key)
+        now = self.now_seconds()
+        if item is not None:
+            expired = item.exptime != 0.0 and now >= item.exptime
+            flushed = item.created_at < self._flush_before <= now
+            if not (expired or flushed):
+                return "hit", ModelResult(item.value, item.flags, item.cas), 0
+        stale = None
+        if stale_ok and item is not None and self._stale_servable(item, now):
+            stale = ModelResult(item.value, item.flags, item.cas)
+        current = self._leases.get(key)
+        if current is not None and now < current[1]:
+            return "lost", stale, 0
+        token = self._next_lease_token
+        self._next_lease_token += 1
+        self._leases[key] = (token, now + self.lease_ttl_s)
+        return "won", stale, token
+
+    def set_with_lease(
+        self, key: str, value: bytes, lease_token: int,
+        flags: int = 0, exptime: float = 0,
+    ) -> str:
+        """A lease-carrying fill: stored only while the lease is live.
+
+        The gate runs before key validation, mirroring the engine's
+        ``_storage`` order (an unknown/expired token is ``not_stored``
+        without ever reaching the store).
+        """
+        if lease_token:
+            current = self._leases.get(key)
+            if (
+                current is None
+                or current[0] != lease_token
+                or self.now_seconds() >= current[1]
+            ):
+                return "not_stored"
+        return self.set(key, value, flags, exptime)
+
     # -- mutation -----------------------------------------------------------------
 
     def delete(self, key: str) -> bool:
+        """True if a live item was removed (also voids its lease)."""
         self._validate_key(key)
-        return self._live(key) is not None and self._items.pop(key, None) is not None
+        if self._live(key) is None:
+            return False
+        self._leases.pop(key, None)
+        return self._items.pop(key, None) is not None
 
     def incr(self, key: str, delta: int) -> Optional[int]:
         return self._arith(key, delta)
@@ -285,6 +358,9 @@ class ModelMemcached:
                 created_at=self.now_seconds(),
                 chunk_capacity=self._chunk_capacity(key, new),
             )
+            # The refit is a full re-store (_link), which settles leases;
+            # the in-place branch above deliberately does not.
+            self._leases.pop(key, None)
         return value
 
     def touch(self, key: str, exptime: float) -> bool:
@@ -297,6 +373,7 @@ class ModelMemcached:
 
     def flush_all(self, delay_seconds: float = 0.0) -> None:
         self._flush_before = self.now_seconds() + delay_seconds
+        self._leases.clear()
 
     # -- eviction adoption (the pressure-aware specification) ---------------------
 

@@ -33,6 +33,7 @@ from repro.memcached.onesided import (
     OneSidedTransport,
 )
 from repro.memcached.server import MemcachedCosts, MemcachedServer, UcrServerPort
+from repro.memcached.serving import GutterRouter, ProbabilisticHotCache
 from repro.memcached.store import StoreConfig
 from repro.sim import Simulator
 from repro.sim.rng import RngStream
@@ -248,6 +249,9 @@ class Cluster:
         policy: FailoverPolicy = FailoverPolicy(),
         binary: bool = False,
         pipeline_depth: int = 1,
+        gutter: int = 0,
+        gutter_ttl_s: float = 10.0,
+        hot_cache: Optional[ProbabilisticHotCache] = None,
     ) -> ShardedClient:
         """A failure-aware client routing over a consistent-hash ring.
 
@@ -255,6 +259,12 @@ class Cluster:
         :class:`~repro.cluster.router.HashRing` over the server pool and
         operations fail over per *policy* (bounded retry, exponential
         backoff, ejection/rejoin) when a shard dies.
+
+        With ``gutter=N`` the *last* N pool servers are reserved as a
+        gutter pool (docs/SERVING.md): they leave the primary ring, and
+        traffic for ejected primary shards diverts to them with writes
+        clamped to *gutter_ttl_s*.  *hot_cache* attaches a client-local
+        :class:`~repro.memcached.serving.ProbabilisticHotCache`.
         """
         base = self.client(
             transport,
@@ -263,13 +273,29 @@ class Cluster:
             timeout_us=timeout_us,
             binary=binary,
         )
-        ring = HashRing(self.server_names, vnodes=vnodes)
+        if gutter:
+            if gutter >= len(self.server_names):
+                raise ValueError(
+                    f"gutter={gutter} leaves no primary shards out of "
+                    f"{len(self.server_names)} servers"
+                )
+            primary = HashRing(self.server_names[:-gutter], vnodes=vnodes)
+            spare = HashRing(self.server_names[-gutter:], vnodes=vnodes)
+            ring = GutterRouter(primary, spare, gutter_ttl_s=gutter_ttl_s)
+        else:
+            ring = HashRing(self.server_names, vnodes=vnodes)
         cls = (
             OneSidedShardedClient
             if isinstance(base.transport, OneSidedTransport)
             else ShardedClient
         )
-        return cls(base.transport, ring, policy=policy, pipeline_depth=pipeline_depth)
+        return cls(
+            base.transport,
+            ring,
+            policy=policy,
+            pipeline_depth=pipeline_depth,
+            hot_cache=hot_cache,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -25,6 +25,7 @@ from repro.experiments import (
     figure_onesided,
     figure_pipeline,
     figure_pressure,
+    figure_serving,
 )
 from repro.experiments.common import ExperimentReport
 
@@ -38,6 +39,9 @@ FIGURES: dict[str, Callable[[bool], ExperimentReport]] = {
     "onesided": figure_onesided.run,
     "pipeline": figure_pipeline.run,
     "pressure": figure_pressure.run,
+    "storm": figure_serving.run_storm,
+    "stampede": figure_serving.run_stampede,
+    "gutter": figure_serving.run_gutter,
     "ext": extensions.run,
 }
 

@@ -92,6 +92,18 @@ _ERROR_KIND = {
     ProtocolError: "protocol",
 }
 
+#: Ops whose issue must invalidate a client-local hot-cache entry
+#: (write-through: any mutation, plus touch, which changes expiry).
+_HOT_INVALIDATING_OPS = frozenset(
+    {"set", "add", "replace", "append", "prepend", "cas",
+     "delete", "incr", "decr", "touch"}
+)
+
+#: Storage ops whose exptime a gutter-bound write must clamp (the
+#: gutter pool holds redirected keys only briefly; see
+#: repro.memcached.serving.gutter).
+_GUTTER_CLAMP_OPS = frozenset({"set", "add", "replace", "cas"})
+
 
 def _ctx(span):
     """The TraceContext of *span*, or None when tracing is off."""
@@ -133,7 +145,11 @@ def _recorded(op: str):
             except ProtocolError:
                 recorder.fail(rec, "protocol", self.sim.now, self._last_server)
                 raise
-            recorder.complete(rec, result, self.sim.now, self._last_server)
+            notes = getattr(self, "_op_annotations", ())
+            if notes:
+                self._op_annotations = ()
+            recorder.complete(rec, result, self.sim.now, self._last_server,
+                              annotations=notes)
             return result
 
         return wrapper
@@ -173,6 +189,12 @@ def _interpret(cmd: Command, reply: Reply):
             return None
         _key, _flags, data, cas = reply.values[0]
         return data, cas
+    if op == "getl":
+        if not reply.lease_state:
+            # Fresh hit: exactly a get's return shape.
+            return reply.values[0][2] if reply.values else None
+        stale_value = reply.values[0][2] if reply.values else None
+        return reply.lease_state, stale_value, reply.lease_token
     if op == "delete":
         return reply.status == "deleted"
     if op in ("incr", "decr"):
@@ -711,6 +733,7 @@ class MemcachedClient:
         servers: list[str],
         distribution="modula",
         pipeline_depth: int = 1,
+        hot_cache=None,
     ) -> None:
         self.transport = transport
         self.sim = transport.sim
@@ -733,6 +756,10 @@ class MemcachedClient:
         #: The server the most recent operation targeted (history
         #: recording attributes each attempt to its shard).
         self._last_server: Optional[str] = None
+        #: Optional client-local probabilistic hot cache
+        #: (:class:`repro.memcached.serving.ProbabilisticHotCache`);
+        #: None keeps the op paths byte-identical to a cache-less client.
+        self.hot_cache = hot_cache
 
     def _pick(self, key: str):
         """Process helper: hash the key to a server (charged CPU)."""
@@ -762,9 +789,20 @@ class MemcachedClient:
         )
         try:
             server = yield from self._pick(cmd.key)
+            if cmd.op in _GUTTER_CLAMP_OPS:
+                gutter_ttl = getattr(self.distribution, "gutter_ttl_s", None)
+                if gutter_ttl is not None and self.distribution.is_gutter(server):
+                    # Gutter-bound writes live briefly: clamp the expiry
+                    # so redirected keys cannot outstay the outage.
+                    if cmd.exptime == 0 or cmd.exptime > gutter_ttl:
+                        cmd.exptime = gutter_ttl
             reply = yield from self.transport.execute(server, cmd, trace=_ctx(span))
             return _interpret(cmd, reply)
         finally:
+            if self.hot_cache is not None and cmd.op in _HOT_INVALIDATING_OPS:
+                # Write-through invalidation: even a failed or lost
+                # mutation may have executed server-side.
+                self.hot_cache.invalidate(cmd.key)
             if tracer.enabled:
                 tracer.end(span, self.sim.now)
 
@@ -793,6 +831,24 @@ class MemcachedClient:
                       exptime=exptime, cas=cas_token)
         return (yield from self._call(cmd, key=key, nbytes=len(value)))
 
+    @_recorded("set")
+    def set_with_lease(self, key: str, value: bytes, lease_token: int,
+                       flags: int = 0, exptime: float = 0):
+        """Fill *key* under a lease won by :meth:`get_lease`.
+
+        The server validates *lease_token*: the value is stored only if
+        the lease is still live (the key was not mutated, deleted or
+        flushed since the lease was won, and the lease TTL has not
+        elapsed).  Returns True iff stored; a denial records a
+        ``lease-denied`` annotation (the fill had no effect).
+        """
+        cmd = Command(op="set", keys=[key], value=value, flags=flags,
+                      exptime=exptime, lease_token=lease_token)
+        result = yield from self._call(cmd, key=key, nbytes=len(value))
+        if recorder.enabled and result is False:
+            self._op_annotations = ("lease-denied",)
+        return result
+
     @_recorded("append")
     def append(self, key: str, value: bytes):
         """Append to an existing value; True if the key was present."""
@@ -810,14 +866,61 @@ class MemcachedClient:
     @_recorded("get")
     def get(self, key: str):
         """Returns the value bytes, or None on miss."""
+        hc = self.hot_cache
+        if hc is not None:
+            cached = hc.lookup(key, self.sim.now / 1e6)
+            if cached is not None:
+                # Served client-locally: zero simulated time, no wire.
+                self._last_server = "hot-cache"
+                if recorder.enabled:
+                    self._op_annotations = ("cached",)
+                return cached[0]
         cmd = Command(op="get", keys=[key])
-        return (yield from self._call(cmd, key=key))
+        value = yield from self._call(cmd, key=key)
+        if hc is not None and value is not None and hc.admit(key):
+            hc.store(key, value, 0, self.sim.now / 1e6)
+        return value
 
     @_recorded("gets")
     def gets(self, key: str):
         """Returns (value, cas) or None."""
         cmd = Command(op="gets", keys=[key])
         return (yield from self._call(cmd, key=key))
+
+    @_recorded("get")
+    def get_lease(self, key: str, stale_ok: bool = True):
+        """Anti-dogpile get: a fresh value, or a lease verdict on miss.
+
+        Returns the value bytes on a fresh hit (exactly :meth:`get`'s
+        shape).  On miss returns ``(state, stale_value, token)``:
+        ``state`` is ``"won"`` (this caller holds the regeneration
+        lease -- fill via :meth:`set_with_lease` with *token*) or
+        ``"lost"`` (another caller is already filling); *stale_value*
+        is the expired-but-still-servable bytes when the server holds
+        one inside its stale window and *stale_ok* was passed, else
+        None.  Recorded as a ``get`` with lease/staleness annotations
+        so the history checker treats the miss leniently.
+        """
+        hc = self.hot_cache
+        if hc is not None:
+            cached = hc.lookup(key, self.sim.now / 1e6)
+            if cached is not None:
+                self._last_server = "hot-cache"
+                if recorder.enabled:
+                    self._op_annotations = ("cached",)
+                return cached[0]
+        cmd = Command(op="getl", keys=[key], stale_ok=stale_ok)
+        result = yield from self._call(cmd, key=key)
+        if isinstance(result, tuple):
+            if recorder.enabled:
+                notes = ("lease-won",) if result[0] == "won" else ("lease-lost",)
+                if result[1] is not None:
+                    notes += ("stale",)
+                self._op_annotations = notes
+            return result
+        if hc is not None and result is not None and hc.admit(key):
+            hc.store(key, result, 0, self.sim.now / 1e6)
+        return result
 
     def get_multi(self, keys: list[str]):
         """mget: {key: value} for hits, one batched request per server.
@@ -955,6 +1058,10 @@ class MemcachedClient:
         finally:
             if tracer.enabled:
                 tracer.end(span, self.sim.now)
+        if self.hot_cache is not None:
+            for cmd in commands:
+                if cmd.op in _HOT_INVALIDATING_OPS:
+                    self.hot_cache.invalidate(cmd.key)
         results: list = []
         for idx, cmd in enumerate(commands):
             server = servers[idx]
@@ -1016,6 +1123,8 @@ class MemcachedClient:
     @_recorded("flush_all")
     def flush_all(self, delay: float = 0.0):
         """Flush every server in the pool."""
+        if self.hot_cache is not None:
+            self.hot_cache.invalidate_all()
         span = (
             tracer.begin("client.flush_all", "client", self.sim.now)
             if tracer.enabled
@@ -1117,9 +1226,10 @@ class ShardedClient(MemcachedClient):
         ring,
         policy: FailoverPolicy = FailoverPolicy(),
         pipeline_depth: int = 1,
+        hot_cache=None,
     ) -> None:
         super().__init__(transport, ring.servers, distribution=ring,
-                         pipeline_depth=pipeline_depth)
+                         pipeline_depth=pipeline_depth, hot_cache=hot_cache)
         self.ring = ring
         self.policy = policy
         self._health: dict[str, _ShardHealth] = {
@@ -1236,6 +1346,14 @@ class ShardedClient(MemcachedClient):
 
     def gets(self, key: str):
         return self._with_failover("gets", key)
+
+    def get_lease(self, key: str, stale_ok: bool = True):
+        return self._with_failover("get_lease", key, stale_ok)
+
+    def set_with_lease(self, key: str, value: bytes, lease_token: int,
+                       flags: int = 0, exptime: float = 0):
+        return self._with_failover("set_with_lease", key, value, lease_token,
+                                   flags, exptime)
 
     def delete(self, key: str):
         return self._with_failover("delete", key)

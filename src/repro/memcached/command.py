@@ -28,7 +28,7 @@ from typing import Any, Optional
 OPS = frozenset(
     {
         "set", "add", "replace", "cas", "append", "prepend",
-        "get", "gets", "delete", "incr", "decr", "touch",
+        "get", "gets", "getl", "delete", "incr", "decr", "touch",
         "flush_all", "stats", "version", "noop",
     }
 )
@@ -80,6 +80,11 @@ class Command:
     want_cas_token: bool = False
     #: Two-phase UCR sets: the slab item reserved by the header handler.
     reserved_item: Any = None
+    #: ``getl``: the client will accept a stale (expired-but-present)
+    #: value while another client holds the regeneration lease.
+    stale_ok: bool = False
+    #: Storage ops: the lease token authorising this fill (0 = plain op).
+    lease_token: int = 0
 
     @property
     def key(self) -> str:
@@ -109,6 +114,13 @@ class Reply:
     error_kind: str = "server"
     detail: str = ""
     stats: Optional[dict] = None
+    #: ``getl`` misses: "won" (caller holds the fill lease) or "lost"
+    #: (someone else is regenerating); "" for live hits and non-getl ops.
+    lease_state: str = ""
+    #: The fill token when ``lease_state == "won"``.
+    lease_token: int = 0
+    #: The entry in ``values`` is an expired-but-servable stale value.
+    stale: bool = False
 
 
 def entry_data(data) -> bytes:

@@ -50,6 +50,19 @@ class CommandEngine:
                 if item is not None:
                     entries.append((item.key, item.flags, item, item.cas))
             return Reply("values", values=entries)
+        if op == "getl":
+            state, item, token = store.getl(cmd.key, cmd.stale_ok)
+            if state == "hit":
+                return Reply(
+                    "values", values=[(item.key, item.flags, item, item.cas)]
+                )
+            values = []
+            stale = False
+            if item is not None:
+                values = [(item.key, item.flags, item, item.cas)]
+                stale = True
+            return Reply("values", values=values, lease_state=state,
+                         lease_token=token, stale=stale)
         if op in ("set", "add", "replace"):
             return self._storage(store, cmd, op)
         if op == "cas":
@@ -95,6 +108,14 @@ class CommandEngine:
 
     def _storage(self, store, cmd: Command, op: str) -> Reply:
         item = cmd.reserved_item
+        if cmd.lease_token and not store.leases.validate(cmd.key, cmd.lease_token):
+            # A lease-carrying fill whose token is no longer live (the
+            # key was mutated, deleted or flushed since the lease was
+            # won, or the lease TTL elapsed): refuse the stale fill.
+            if item is not None:
+                cmd.reserved_item = None
+                store.abandon(item)
+            return Reply("not_stored")
         if item is not None:
             # Two-phase UCR path: the header handler already reserved the
             # slab chunk (the RDMA READ landed the value in place).

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.check.history import recorder
 from repro.core.endpoint import _SendCompletionCookie
 from repro.core.errors import EndpointClosed, UcrTimeout
 from repro.memcached.client import (
@@ -228,9 +229,20 @@ class OneSidedClient(MemcachedClient):
     @_recorded("get")
     def get(self, key: str):
         """Returns the value bytes, or None on miss."""
+        hc = self.hot_cache
+        if hc is not None:
+            cached = hc.lookup(key, self.sim.now / 1e6)
+            if cached is not None:
+                self._last_server = "hot-cache"
+                if recorder.enabled:
+                    self._op_annotations = ("cached",)
+                return cached[0]
         cmd = Command(op="get", keys=[key])
         outcome = yield from self._onesided(cmd, key)
-        return outcome[1]
+        value = outcome[1]
+        if hc is not None and value is not None and hc.admit(key):
+            hc.store(key, value, 0, self.sim.now / 1e6)
+        return value
 
     @_recorded("gets")
     def gets(self, key: str):
@@ -240,6 +252,38 @@ class OneSidedClient(MemcachedClient):
         if outcome[0] == "hit":
             return (outcome[1], outcome[2])
         return outcome[1]
+
+    @_recorded("get")
+    def get_lease(self, key: str, stale_ok: bool = True):
+        """One-sided-first anti-dogpile get (the ladder's top rung).
+
+        A fresh value proven by the probe/fetch/confirm READs is served
+        one-sided, annotation-free -- no lease machinery needed when the
+        value is live.  Anything the index cannot prove (absent,
+        expired, oversize, torn) falls back to the RPC ``getl``, which
+        returns :meth:`MemcachedClient.get_lease`'s miss verdict.
+        """
+        hc = self.hot_cache
+        if hc is not None:
+            cached = hc.lookup(key, self.sim.now / 1e6)
+            if cached is not None:
+                self._last_server = "hot-cache"
+                if recorder.enabled:
+                    self._op_annotations = ("cached",)
+                return cached[0]
+        cmd = Command(op="getl", keys=[key], stale_ok=stale_ok)
+        outcome = yield from self._onesided(cmd, key)
+        result = outcome[1]
+        if isinstance(result, tuple):
+            if recorder.enabled:
+                notes = ("lease-won",) if result[0] == "won" else ("lease-lost",)
+                if result[1] is not None:
+                    notes += ("stale",)
+                self._op_annotations = notes
+            return result
+        if hc is not None and result is not None and hc.admit(key):
+            hc.store(key, result, 0, self.sim.now / 1e6)
+        return result
 
     def _onesided(self, cmd: Command, key: str):
         """Process helper: try one-sided, fall back to the RPC path.
@@ -278,3 +322,6 @@ class OneSidedShardedClient(ShardedClient):
 
     def gets(self, key: str):
         return self._with_failover(OneSidedClient.gets, key)
+
+    def get_lease(self, key: str, stale_ok: bool = True):
+        return self._with_failover(OneSidedClient.get_lease, key, stale_ok)

@@ -24,7 +24,8 @@ CRLF = b"\r\n"
 STORAGE_COMMANDS = frozenset({"set", "add", "replace", "append", "prepend", "cas"})
 #: Single-line retrieval/mutation commands.
 SIMPLE_COMMANDS = frozenset(
-    {"get", "gets", "delete", "incr", "decr", "touch", "stats", "flush_all", "version", "quit"}
+    {"get", "gets", "getl", "delete", "incr", "decr", "touch", "stats",
+     "flush_all", "version", "quit"}
 )
 
 
@@ -40,6 +41,10 @@ class Request:
     delta: int = 0
     data: bytes = b""
     noreply: bool = False
+    #: ``getl <key> stale``: the caller accepts a stale value on a lost lease.
+    stale: bool = False
+    #: Storage ``lease=<N>`` token: fill authorised by a won getl lease.
+    lease: int = 0
 
     @property
     def key(self) -> str:
@@ -110,8 +115,17 @@ class RequestParser:
     def _parse_storage(self, cmd: str, parts: list[str]) -> Request:
         want = 6 if cmd == "cas" else 5
         noreply = False
-        if len(parts) == want + 1 and parts[-1] == "noreply":
+        if len(parts) > want and parts[-1] == "noreply":
             noreply = True
+            parts = parts[:-1]
+        lease = 0
+        if len(parts) == want + 1 and parts[-1].startswith("lease="):
+            try:
+                lease = int(parts[-1][len("lease="):])
+            except ValueError as exc:
+                raise ProtocolError(f"bad {cmd} lease token") from exc
+            if lease <= 0:
+                raise ProtocolError(f"bad {cmd} lease token")
             parts = parts[:-1]
         if len(parts) != want:
             raise ProtocolError(f"bad {cmd} line")
@@ -132,6 +146,7 @@ class RequestParser:
             cas=cas,
             delta=nbytes,  # stashed until the data block arrives
             noreply=noreply,
+            lease=lease,
         )
 
     def _parse_simple(self, cmd: str, parts: list[str]) -> Request:
@@ -142,6 +157,12 @@ class RequestParser:
             if len(parts) < 2:
                 raise ProtocolError("get requires at least one key")
             return Request(command=cmd, keys=parts[1:])
+        if cmd == "getl":
+            # getl <key> [stale]
+            stale = len(parts) == 3 and parts[2] == "stale"
+            if len(parts) != 2 and not stale:
+                raise ProtocolError("bad getl line")
+            return Request(command=cmd, keys=[parts[1]], stale=stale)
         if cmd in ("incr", "decr"):
             if len(parts) != 3:
                 raise ProtocolError(f"bad {cmd} line")
@@ -202,6 +223,18 @@ def encode_touched() -> bytes:
 
 def encode_ok() -> bytes:
     return b"OK\r\n"
+
+def encode_lease(token: int) -> bytes:
+    """A won getl lease: the caller must regenerate and fill."""
+    return f"LEASE {token}\r\n".encode()
+
+def encode_lost() -> bytes:
+    """A lost getl lease with no servable stale value."""
+    return b"LOST\r\n"
+
+def encode_stale() -> bytes:
+    """A lost getl lease; a stale VALUE block follows."""
+    return b"STALE\r\n"
 
 def encode_number(value: int) -> bytes:
     return f"{value}\r\n".encode()
@@ -290,11 +323,16 @@ class ResponseParser:
             return ("STAT", k, v)
         if line.startswith(("CLIENT_ERROR ", "SERVER_ERROR ", "VERSION ")):
             return line
+        if line.startswith("LEASE "):
+            parts = line.split()
+            if len(parts) != 2 or not parts[1].isdigit():
+                raise ProtocolError(f"bad LEASE line {line!r}")
+            return ("LEASE", int(parts[1]))
         if line.isdigit():
             return int(line)
         if line in (
             "END", "STORED", "NOT_STORED", "EXISTS", "NOT_FOUND",
-            "DELETED", "TOUCHED", "OK", "ERROR",
+            "DELETED", "TOUCHED", "OK", "ERROR", "LOST", "STALE",
         ):
             return line
         raise ProtocolError(f"unrecognized response line {line!r}")
@@ -306,10 +344,12 @@ class ResponseParser:
 
 
 def build_storage(cmd: str, key: str, flags: int, exptime: float, data: bytes,
-                  cas: Optional[int] = None, noreply: bool = False) -> bytes:
+                  cas: Optional[int] = None, noreply: bool = False,
+                  lease: int = 0) -> bytes:
     """Serialize a set/add/replace/append/prepend/cas command."""
     exp = int(exptime)
-    tail = " noreply" if noreply else ""
+    tail = f" lease={lease}" if lease else ""
+    tail += " noreply" if noreply else ""
     if cmd == "cas":
         head = f"cas {key} {flags} {exp} {len(data)} {cas}{tail}\r\n"
     else:
@@ -320,6 +360,10 @@ def build_storage(cmd: str, key: str, flags: int, exptime: float, data: bytes,
 def build_get(keys: list[str], with_cas: bool = False) -> bytes:
     cmd = "gets" if with_cas else "get"
     return f"{cmd} {' '.join(keys)}\r\n".encode()
+
+
+def build_getl(key: str, stale_ok: bool = False) -> bytes:
+    return f"getl {key} stale\r\n".encode() if stale_ok else f"getl {key}\r\n".encode()
 
 
 def build_delete(key: str, noreply: bool = False) -> bytes:
@@ -374,6 +418,8 @@ def request_to_command(req: Request) -> Command:
         cas=req.cas,
         delta=req.delta,
         noreply=req.noreply,
+        stale_ok=req.stale,
+        lease_token=req.lease,
     )
 
 
@@ -386,12 +432,14 @@ def encode_command(cmd: Command, opaque: int = 0) -> bytes:
     op = cmd.op
     if op in ("set", "add", "replace", "append", "prepend"):
         return build_storage(op, cmd.key, cmd.flags, cmd.exptime, cmd.value,
-                             noreply=cmd.noreply)
+                             noreply=cmd.noreply, lease=cmd.lease_token)
     if op == "cas":
         return build_storage("cas", cmd.key, cmd.flags, cmd.exptime, cmd.value,
                              cas=cmd.cas, noreply=cmd.noreply)
     if op in ("get", "gets"):
         return build_get(cmd.keys, with_cas=(op == "gets"))
+    if op == "getl":
+        return build_getl(cmd.key, stale_ok=cmd.stale_ok)
     if op == "delete":
         return build_delete(cmd.key, noreply=cmd.noreply)
     if op in ("incr", "decr"):
@@ -410,6 +458,20 @@ def encode_command(cmd: Command, opaque: int = 0) -> bytes:
 def encode_reply(cmd: Command, reply: Reply) -> bytes:
     """Serialize one IR reply to text wire bytes (server side)."""
     status = reply.status
+    if status == "values" and cmd.op == "getl" and reply.lease_state:
+        # A getl miss: the lease verdict line, then any stale value.
+        if reply.lease_state == "won":
+            chunks = [encode_lease(reply.lease_token)]
+        elif reply.values:
+            chunks = [encode_stale()]
+        else:
+            chunks = [encode_lost()]
+        chunks += [
+            encode_value(key, flags, entry_data(data))
+            for key, flags, data, _cas in reply.values
+        ]
+        chunks.append(encode_end())
+        return b"".join(chunks)
     if status == "values":
         chunks = [
             encode_value(key, flags, entry_data(data),
@@ -456,6 +518,8 @@ class ReplyAssembler:
         self.reply: Optional[Reply] = None
         self._values: list = []
         self._stats: dict = {}
+        self._lease_state = ""
+        self._lease_token = 0
 
     def _done(self, reply: Reply) -> bool:
         self.reply = reply
@@ -483,6 +547,26 @@ class ReplyAssembler:
             if token == "END":
                 return self._done(Reply("values", values=self._values))
             raise ProtocolError(f"unexpected token {token!r} in get reply")
+        if op == "getl":
+            if isinstance(token, tuple) and token[0] == "LEASE":
+                self._lease_state = "won"
+                self._lease_token = token[1]
+                return False
+            if token in ("LOST", "STALE"):
+                self._lease_state = "lost"
+                return False
+            if isinstance(token, ValueReply):
+                self._values.append((token.key, token.flags, token.data, token.cas or 0))
+                return False
+            if token == "END":
+                return self._done(Reply(
+                    "values",
+                    values=self._values,
+                    lease_state=self._lease_state,
+                    lease_token=self._lease_token,
+                    stale=bool(self._values and self._lease_state),
+                ))
+            raise ProtocolError(f"unexpected token {token!r} in getl reply")
         if op == "stats":
             if isinstance(token, tuple) and token[0] == "STAT":
                 self._stats[token[1]] = token[2]

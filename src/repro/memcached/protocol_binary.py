@@ -56,6 +56,11 @@ class Opcode:
     PREPEND = 0x0F
     STAT = 0x10
     TOUCH = 0x1C
+    # Lease extension opcodes (vendor range; docs/SERVING.md).  SETL is
+    # distinct from SET because a SET frame with a nonzero cas field is
+    # the binary cas idiom -- the lease token needs its own extras slot.
+    GETL = 0x30
+    SETL = 0x31
 
 
 _OPCODE_NAMES = {
@@ -137,6 +142,25 @@ class BinMessage:
             raise ProtocolError("flush extras must be 0 or 4 bytes")
         return struct.unpack("!L", self.extras)[0]
 
+    def getl_extras(self) -> int:
+        """stale_ok flag of a GETL request."""
+        if len(self.extras) != 4:
+            raise ProtocolError("getl extras must be 4 bytes")
+        return struct.unpack("!L", self.extras)[0]
+
+    def setl_extras(self) -> tuple[int, int, int]:
+        """(flags, exptime, lease_token) of a SETL request."""
+        if len(self.extras) != 16:
+            raise ProtocolError("setl extras must be 16 bytes")
+        return struct.unpack("!LLQ", self.extras)
+
+    def getl_response_extras(self) -> tuple[int, int, int, int]:
+        """(flags, lease_state_code, stale, token) of a GETL response."""
+        if len(self.extras) != 16:
+            raise ProtocolError("getl response extras must be 16 bytes")
+        flags, state, stale, _pad, token = struct.unpack("!LBBHQ", self.extras)
+        return flags, state, stale, token
+
 
 def encode(msg: BinMessage) -> bytes:
     """Serialize a message to wire bytes."""
@@ -216,6 +240,28 @@ def build_set(
         BinMessage(
             MAGIC_REQUEST, opcode, key=key.encode(), extras=extras,
             value=value, cas=cas, opaque=opaque,
+        )
+    )
+
+
+def build_getl(key: str, stale_ok: bool = False, opaque: int = 0) -> bytes:
+    """Serialize a GETL (get-with-lease) request."""
+    extras = struct.pack("!L", 1 if stale_ok else 0)
+    return encode(
+        BinMessage(MAGIC_REQUEST, Opcode.GETL, key=key.encode(), extras=extras, opaque=opaque)
+    )
+
+
+def build_setl(
+    key: str, value: bytes, flags: int = 0, exptime: int = 0,
+    lease: int = 0, opaque: int = 0,
+) -> bytes:
+    """Serialize a SETL (lease-authorised fill) request."""
+    extras = struct.pack("!LLQ", flags, exptime, lease)
+    return encode(
+        BinMessage(
+            MAGIC_REQUEST, Opcode.SETL, key=key.encode(), extras=extras,
+            value=value, opaque=opaque,
         )
     )
 
@@ -357,6 +403,12 @@ def request_to_command(msg: BinMessage) -> Command:
         name = {Opcode.SET: "set", Opcode.ADD: "add", Opcode.REPLACE: "replace"}[op]
         return Command(op=name, keys=[key], value=msg.value, flags=flags,
                        exptime=exptime, want_cas_token=True)
+    if op == Opcode.GETL:
+        return Command(op="getl", keys=[key], stale_ok=bool(msg.getl_extras()))
+    if op == Opcode.SETL:
+        flags, exptime, lease = msg.setl_extras()
+        return Command(op="set", keys=[key], value=msg.value, flags=flags,
+                       exptime=exptime, lease_token=lease, want_cas_token=True)
     if op in (Opcode.APPEND, Opcode.PREPEND):
         name = "append" if op == Opcode.APPEND else "prepend"
         return Command(op=name, keys=[key], value=msg.value, want_cas_token=True)
@@ -397,6 +449,11 @@ def encode_command(cmd: Command, opaque: int = 0) -> bytes:
             frames.append(build_noop(opaque))
             return b"".join(frames)
         return build_get(cmd.key, opaque=opaque)
+    if op == "getl":
+        return build_getl(cmd.key, stale_ok=cmd.stale_ok, opaque=opaque)
+    if op == "set" and cmd.lease_token:
+        return build_setl(cmd.key, cmd.value, cmd.flags, int(cmd.exptime),
+                          lease=cmd.lease_token, opaque=opaque)
     if op in ("set", "add", "replace"):
         return build_set(cmd.key, cmd.value, cmd.flags, int(cmd.exptime),
                          opcode=_STORAGE_OPCODES[op], opaque=opaque)
@@ -440,6 +497,19 @@ def encode_reply(request: BinMessage, cmd: Command, reply: Reply) -> bytes:
         if reply.detail == "non_numeric":
             return respond(request, Status.NON_NUMERIC)
         return respond(request, Status.INVALID_ARGUMENTS)
+    if status == "values" and cmd.op == "getl":
+        # One frame regardless of verdict: the lease state rides the
+        # extras, so a miss is NOT a KEY_NOT_FOUND status here.
+        state_code = {"": 0, "won": 1, "lost": 2}[reply.lease_state]
+        if reply.values:
+            _key, flags, data, cas = reply.values[0]
+            value, cas_out = entry_data(data), cas
+        else:
+            flags, value, cas_out = 0, b"", 0
+        extras = struct.pack("!LBBHQ", flags, state_code, int(reply.stale),
+                             0, reply.lease_token)
+        return respond(request, Status.NO_ERROR, extras=extras,
+                       value=value, cas=cas_out)
     if status == "values":
         if not reply.values:
             if cmd.quiet:
@@ -516,6 +586,20 @@ class ReplyAssembler:
                 return self._done(Reply("stats", stats=self._stats))
             self._stats[msg.key.decode()] = msg.value.decode()
             return False
+        if op == "getl":
+            if msg.status != Status.NO_ERROR:
+                return self._done(self._error(msg))
+            flags, state, stale, token = msg.getl_response_extras()
+            lease_state = {0: "", 1: "won", 2: "lost"}.get(state)
+            if lease_state is None:
+                return self._done(self._error(msg))
+            values = []
+            if state == 0 or stale:
+                values = [(cmd.key, flags, msg.value, msg.cas)]
+            return self._done(Reply(
+                "values", values=values, lease_state=lease_state,
+                lease_token=token, stale=bool(stale),
+            ))
         if op in ("get", "gets"):
             if msg.status == Status.KEY_NOT_FOUND:
                 return self._done(Reply("values", values=[]))

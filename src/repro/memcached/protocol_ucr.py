@@ -51,6 +51,12 @@ class McRequest:
     request_id: int = 0
     #: Filled by the server's header handler for two-phase sets.
     reserved_item: Any = None
+    #: ``getl``: accept a stale value on a lost lease.  Rides reserved
+    #: header space, so the fixed wire size above is unchanged.
+    stale_ok: bool = False
+    #: Storage ops: the fill-authorising lease token (0 = plain store);
+    #: also rides reserved header space.
+    lease_token: int = 0
     #: Telemetry rider (a TraceContext); rides the fixed header's padding
     #: in the real protocol, so it is never counted in wire bytes.
     trace: Any = None
@@ -73,6 +79,12 @@ class McResponse:
     error_kind: str = "server"
     #: Echoed from the request (UD retransmission matching).
     request_id: int = 0
+    #: ``getl`` verdict ("" | "won" | "lost"); rides reserved header space.
+    lease_state: str = ""
+    #: The fill token when ``lease_state == "won"``.
+    lease_token: int = 0
+    #: The values payload is an expired-but-servable stale value.
+    stale: bool = False
     #: Telemetry rider: the server-side span context, so reply-path spans
     #: attach under the handling operation.  Never counted in wire bytes.
     trace: Any = None
@@ -101,6 +113,8 @@ def command_to_request(cmd: Command, trace=None) -> tuple[McRequest, bytes]:
             delta=cmd.delta,
             value_length=len(data),
             noreply=cmd.noreply,
+            stale_ok=cmd.stale_ok,
+            lease_token=cmd.lease_token,
             trace=trace,
         ),
         data,
@@ -120,7 +134,13 @@ def response_to_reply(cmd: Command, header: McResponse, payload: bytes) -> Reply
         for key, flags, length, cas in header.values_meta or []:
             entries.append((key, flags, payload[offset : offset + length], cas))
             offset += length
-        return Reply("values", values=entries)
+        return Reply(
+            "values",
+            values=entries,
+            lease_state=header.lease_state,
+            lease_token=header.lease_token,
+            stale=header.stale,
+        )
     if header.status == "ok" and cmd.op == "stats":
         return Reply("stats", stats=dict(header.values_meta or []))
     if header.status == "number":
@@ -146,6 +166,8 @@ def request_to_command(header: McRequest, data: bytes) -> Command:
         delta=header.delta,
         noreply=header.noreply,
         reserved_item=header.reserved_item,
+        stale_ok=header.stale_ok,
+        lease_token=header.lease_token,
     )
 
 
@@ -160,23 +182,36 @@ def reply_to_response(cmd: Command, reply: Reply):
         kind = "server" if reply.error_kind == "server" else "client"
         return McResponse("error", message=reply.message, error_kind=kind), b"", None
     if reply.status == "values":
+        lease_fields = dict(
+            lease_state=reply.lease_state,
+            lease_token=reply.lease_token,
+            stale=reply.stale,
+        )
         if len(cmd.keys) == 1 and reply.values:
             key, flags, data, cas = reply.values[0]
             meta = [(key, flags, entry_length(data), cas)]
             chunk = getattr(data, "chunk", None)
             if chunk is not None and chunk.page.mr is not None:
                 return (
-                    McResponse("values", values_meta=meta),
+                    McResponse("values", values_meta=meta, **lease_fields),
                     b"",
                     (chunk.page.mr, chunk.offset, entry_length(data)),
                 )
-            return McResponse("values", values_meta=meta), entry_data(data), None
+            return (
+                McResponse("values", values_meta=meta, **lease_fields),
+                entry_data(data),
+                None,
+            )
         # mget: concatenate hits (always copied -- multiple extents).
         metas, blobs = [], []
         for key, flags, data, cas in reply.values:
             metas.append((key, flags, entry_length(data), cas))
             blobs.append(entry_data(data))
-        return McResponse("values", values_meta=metas), b"".join(blobs), None
+        return (
+            McResponse("values", values_meta=metas, **lease_fields),
+            b"".join(blobs),
+            None,
+        )
     if reply.status == "number":
         return McResponse("number", number=reply.number), b"", None
     if reply.status == "stats":

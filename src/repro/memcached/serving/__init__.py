@@ -1,0 +1,27 @@
+"""Production cache-serving building blocks (see ``docs/SERVING.md``).
+
+Three independent defenses against the failure modes that dominate at
+scale -- thundering herds and hot keys -- none of which the transport
+layer can solve on its own:
+
+- :mod:`repro.memcached.serving.leases` -- server-side anti-dogpile
+  lease table: exactly one client wins the right to regenerate an
+  expired key; the rest serve stale or back off.
+- :mod:`repro.memcached.serving.hotcache` -- client-local probabilistic
+  hot cache: a deterministic seeded admission filter keeps the Zipf head
+  off the wire entirely.
+- :mod:`repro.memcached.serving.gutter` -- gutter router: traffic for an
+  ejected shard lands in a short-TTL gutter pool instead of hammering
+  the miss path.
+"""
+
+from repro.memcached.serving.gutter import GutterRouter
+from repro.memcached.serving.hotcache import ProbabilisticHotCache
+from repro.memcached.serving.leases import Lease, LeaseTable
+
+__all__ = [
+    "GutterRouter",
+    "Lease",
+    "LeaseTable",
+    "ProbabilisticHotCache",
+]

@@ -1,0 +1,112 @@
+"""Client-local probabilistic hot cache.
+
+"RDMA vs. RPC for Implementing Distributed Data Structures" argues for
+keeping hot reads off the server CPU; a client-local cache extends that
+logic past the NIC entirely -- a hit costs zero network, zero server
+work, and (in the model) zero simulated time.
+
+The catch is choosing *which* keys to cache without coordination or a
+clock-driven sketch.  We borrow meta-memcache's probabilistic admission:
+each key is admitted with probability ``admission_rate``, decided by a
+pure deterministic hash of ``(seed, key)``.  Over N clients with
+distinct seeds the Zipf head is cached *somewhere* with high
+probability, while the long tail (which would thrash the cache) almost
+never is.  Determinism matters doubly here: admission must replay
+bit-for-bit under the event-digest sanitizer, so Python's salted
+``hash()`` is off the table -- we use MD5 like the ring does.
+
+Expiry rides the simulated clock: entries are stamped with the
+admission time and served only within ``ttl_s``.  Write-through
+invalidation (any mutation of a cached key drops the entry) bounds
+staleness to the TTL even under concurrent writers.  Math and layering:
+``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+#: Admission hashes are compared against a 32-bit threshold.
+_ADMIT_BITS = 32
+_ADMIT_SPACE = 1 << _ADMIT_BITS
+
+
+class ProbabilisticHotCache:
+    """A seeded, sim-clock-TTL'd, write-through-invalidated value cache.
+
+    Parameters
+    ----------
+    seed:
+        Per-client admission seed; distinct seeds admit distinct key
+        subsets (the point: the pool collectively covers the hot head).
+    ttl_s:
+        Maximum age of a served entry, in simulated seconds.
+    admission_rate:
+        Fraction of the key space this cache admits, in [0, 1].
+    """
+
+    __slots__ = (
+        "seed", "ttl_s", "admission_rate", "_threshold", "_entries",
+        "hits", "misses", "stores", "invalidations",
+    )
+
+    def __init__(self, seed: int, ttl_s: float = 1.0, admission_rate: float = 0.25) -> None:
+        if not 0.0 <= admission_rate <= 1.0:
+            raise ValueError(f"admission_rate must be in [0, 1], got {admission_rate}")
+        if ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
+        self.seed = seed
+        self.ttl_s = ttl_s
+        self.admission_rate = admission_rate
+        self._threshold = int(admission_rate * _ADMIT_SPACE)
+        #: key -> (value bytes, flags, stored_at seconds)
+        self._entries: dict[str, tuple[bytes, int, float]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.invalidations = 0
+
+    def admit(self, key: str) -> bool:
+        """Pure function of ``(seed, key)``: does this cache want *key*?"""
+        digest = hashlib.md5(f"{self.seed}:{key}".encode()).digest()
+        return int.from_bytes(digest[:4], "little") < self._threshold
+
+    def lookup(self, key: str, now_s: float) -> Optional[tuple[bytes, int]]:
+        """The cached ``(value, flags)`` if present and within TTL."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        value, flags, stored_at = entry
+        if now_s - stored_at >= self.ttl_s:
+            # Expired: drop it so the dict doesn't accumulate corpses.
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value, flags
+
+    def store(self, key: str, value: bytes, flags: int, now_s: float) -> None:
+        """Record a freshly fetched value (caller checked ``admit``)."""
+        self._entries[key] = (bytes(value), flags, now_s)
+        self.stores += 1
+
+    def invalidate(self, key: str) -> None:
+        """Write-through: any mutation of *key* drops the local copy."""
+        if self._entries.pop(key, None) is not None:
+            self.invalidations += 1
+
+    def invalidate_all(self) -> None:
+        """``flush_all`` semantics for the local tier."""
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ProbabilisticHotCache seed={self.seed} rate={self.admission_rate}"
+            f" ttl={self.ttl_s}s entries={len(self._entries)}>"
+        )

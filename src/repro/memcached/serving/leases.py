@@ -1,0 +1,97 @@
+"""Server-side anti-dogpile lease table.
+
+When a hot key expires, N clients discover the miss at essentially the
+same simulated instant and, naively, all N regenerate the value (the
+"thundering herd" / dogpile).  The lease table serializes that work:
+the first ``getl`` miss *wins* a lease (a deterministic token) and is
+expected to recompute and fill; every other ``getl`` until the fill (or
+the lease's own expiry) *loses* and either serves a stale value or
+backs off.
+
+The table is deliberately tiny and clock-pure: tokens come from an
+incrementing counter and expiry reads the store's second clock, so
+lease decisions replay bit-for-bit under the event-digest sanitizer.
+State machine and wire mapping: ``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass
+class Lease:
+    """One outstanding fill lease."""
+
+    key: str
+    token: int
+    granted_at: float
+    expires_at: float
+
+
+class LeaseTable:
+    """Per-store registry of outstanding fill leases.
+
+    Parameters
+    ----------
+    now_fn:
+        Zero-arg callable returning the store's clock in seconds.
+    lease_ttl_s:
+        How long a won lease stays exclusive.  If the winner never
+        fills (crashed mid-regeneration), the next ``getl`` after this
+        deadline wins a fresh lease instead of waiting forever.
+    """
+
+    __slots__ = ("_now", "ttl_s", "_leases", "_next_token", "granted", "expired_reissues")
+
+    def __init__(self, now_fn: Callable[[], float], lease_ttl_s: float) -> None:
+        self._now = now_fn
+        self.ttl_s = lease_ttl_s
+        self._leases: dict[str, Lease] = {}
+        #: Deterministic token source; tokens are unique per store lifetime.
+        self._next_token = 1
+        self.granted = 0
+        self.expired_reissues = 0
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def acquire(self, key: str) -> Optional[Lease]:
+        """Try to win the fill lease for *key*.
+
+        Returns the new :class:`Lease` on a win, ``None`` while another
+        client's unexpired lease is outstanding.  A lease whose holder
+        blew the TTL is replaced (and counted in ``expired_reissues``).
+        """
+        now = self._now()
+        current = self._leases.get(key)
+        if current is not None:
+            if now < current.expires_at:
+                return None
+            self.expired_reissues += 1
+        lease = Lease(
+            key=key,
+            token=self._next_token,
+            granted_at=now,
+            expires_at=now + self.ttl_s,
+        )
+        self._next_token += 1
+        self._leases[key] = lease
+        self.granted += 1
+        return lease
+
+    def validate(self, key: str, token: int) -> bool:
+        """True iff *token* is the live lease for *key* (fill allowed)."""
+        lease = self._leases.get(key)
+        if lease is None or lease.token != token:
+            return False
+        return self._now() < lease.expires_at
+
+    def clear(self, key: str) -> None:
+        """Drop *key*'s lease (any successful mutation settles the race)."""
+        self._leases.pop(key, None)
+
+    def clear_all(self) -> None:
+        """Drop every lease (``flush_all`` invalidates all fills)."""
+        self._leases.clear()

@@ -16,6 +16,7 @@ from repro.memcached.errors import ClientError, ServerError
 from repro.memcached.hashtable import DEFAULT_POWER, HashTable
 from repro.memcached.items import ITEM_HEADER_OVERHEAD, Item
 from repro.memcached.lru import LruManager
+from repro.memcached.serving.leases import LeaseTable
 from repro.memcached.slabs import CHUNK_MIN, GROWTH_FACTOR, PAGE_BYTES, SlabAllocator
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -47,6 +48,13 @@ class StoreConfig:
     #: Minimum sim-seconds between page moves (memcached's automover is
     #: similarly rate-limited; this keeps the mover off the hot path).
     slab_automove_window_s: float = 1.0
+    #: How long a won ``getl`` fill lease stays exclusive before the
+    #: next miss may re-win it (holder presumed dead).  See
+    #: docs/SERVING.md; the table itself lives at ``ItemStore.leases``.
+    lease_ttl_s: float = 2.0
+    #: How long past its exptime an expired value stays servable to
+    #: ``getl ... stale`` callers that lost the lease race.
+    stale_window_s: float = 10.0
 
 
 @dataclass
@@ -111,6 +119,8 @@ class ItemStore:
         #: Pure Python, never touches the sim clock: digest-neutral.
         self.on_evict: Optional[Callable[[str, str], None]] = None
         self._last_automove_s = float("-inf")
+        #: Anti-dogpile fill leases, keyed by key (docs/SERVING.md).
+        self.leases = LeaseTable(self.now_seconds, config.lease_ttl_s)
         #: The exported one-sided index, when this store backs an
         #: RDMA-capable server (set by ExportedIndex itself).  Every
         #: write-path hook below is pure Python: digest-neutral.
@@ -208,6 +218,56 @@ class ItemStore:
                 out[key] = item
         return out
 
+    def getl(self, key: str, stale_ok: bool = False) -> tuple[str, Optional[Item], int]:
+        """Get-with-lease (the anti-dogpile read, docs/SERVING.md).
+
+        Returns ``(state, item, token)``:
+
+        - ``("hit", item, 0)`` -- live value, exactly like :meth:`get`;
+        - ``("won", stale_or_None, token)`` -- miss, and the caller won
+          the fill lease: regenerate and ``set`` with *token*;
+        - ``("lost", stale_or_None, 0)`` -- miss, someone else holds the
+          lease; with *stale_ok* the expired ghost (if still within
+          ``stale_window_s`` of its exptime) rides along to serve.
+
+        Unlike :meth:`get`, an expired ghost is **not** unlinked here:
+        the stale value must survive for lease losers to serve while
+        the winner regenerates.  Lazy reaping stays with the ordinary
+        read/write paths.  The stale peek is deliberately LRU-neutral.
+        """
+        self._validate_key(key)
+        self.stats.cmd_get += 1
+        item = self.table.find(key)
+        now = self.now_seconds()
+        if item is not None and not (item.is_expired(now) or self._is_flushed(item)):
+            self.stats.get_hits += 1
+            item.last_access = now
+            self.lru.touch(item)
+            if self.onesided is not None:
+                self.onesided.ensure(item)
+            return "hit", item, 0
+        self.stats.get_misses += 1
+        stale: Optional[Item] = None
+        if stale_ok and item is not None and self._stale_servable(item, now):
+            stale = item
+        lease = self.leases.acquire(key)
+        if lease is not None:
+            return "won", stale, lease.token
+        return "lost", stale, 0
+
+    def _stale_servable(self, item: Item, now: float) -> bool:
+        """An expired-by-exptime ghost within the stale window.
+
+        Flushed items are never servable (``flush_all`` is a promise),
+        and neither are negative-exptime items (expired-at-birth has no
+        meaningful window).
+        """
+        if self._is_flushed(item):
+            return False
+        if item.exptime <= 0:
+            return False
+        return now < item.exptime + self.config.stale_window_s
+
     # -- mutation ----------------------------------------------------------------------
 
     def delete(self, key: str) -> bool:
@@ -218,6 +278,7 @@ class ItemStore:
             self.stats.delete_misses += 1
             return False
         self.stats.delete_hits += 1
+        self.leases.clear(key)
         self._unlink(item)
         return True
 
@@ -240,6 +301,7 @@ class ItemStore:
     def flush_all(self, delay_seconds: float = 0.0) -> None:
         """Invalidate everything created before now (+delay)."""
         self._flush_before = self.now_seconds() + delay_seconds
+        self.leases.clear_all()
         if self.onesided is not None:
             self.onesided.invalidate_all()
 
@@ -462,6 +524,8 @@ class ItemStore:
         return item.created_at < self._flush_before and self._flush_before <= self.now_seconds()
 
     def _link(self, item: Item) -> None:
+        # Any successful value write settles the key's fill race.
+        self.leases.clear(item.key)
         self.table.insert(item)
         self.lru.link(item)
         item.linked = True

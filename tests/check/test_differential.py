@@ -64,6 +64,7 @@ def test_pressure_mutations_are_registered():
         "skip-eviction-counter",
         "double-free-on-rebalance",
         "onesided-skip-version-bump",
+        "lease-serve-stale-past-deadline",
     } == set(MUTATIONS)
 
 

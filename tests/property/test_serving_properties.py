@@ -1,0 +1,162 @@
+"""Property-based tests: the serving plane keeps its contracts.
+
+Pinned invariants (the acceptance bar for leases/hot-cache/gutter):
+
+- **admission purity**: hot-cache admission is a pure function of
+  ``(seed, key)`` -- fresh instances always agree, and the admitted
+  fraction tracks the configured rate;
+- **TTL ceiling**: a cached read is served iff the entry is younger
+  than ``ttl_s``; no interleaving of stores and clock moves can make a
+  value outlive its TTL;
+- **write-through**: once a key is invalidated, no read at any time
+  sees the dropped value until a fresh store;
+- **gutter containment**: with nothing avoided the router always
+  returns the primary owner (gutter servers never leak into steady
+  state); with the owner avoided it always returns a gutter member
+  (keys never migrate to surviving primaries).
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cluster.router import HashRing
+from repro.memcached.serving import GutterRouter, ProbabilisticHotCache
+
+keys = st.integers(min_value=0, max_value=5_000).map(lambda i: f"key-{i}")
+
+
+# -- admission purity --------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    rate=st.floats(min_value=0.0, max_value=1.0),
+    key=keys,
+)
+def test_admission_is_pure(seed, rate, key):
+    a = ProbabilisticHotCache(seed=seed, admission_rate=rate)
+    b = ProbabilisticHotCache(seed=seed, admission_rate=rate)
+    assert a.admit(key) == b.admit(key)
+    # Admission never depends on cache contents.
+    a.store(key, b"v", 0, now_s=0.0)
+    assert a.admit(key) == b.admit(key)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_admitted_fraction_tracks_the_rate(seed):
+    hc = ProbabilisticHotCache(seed=seed, admission_rate=0.5)
+    admitted = sum(hc.admit(f"key-{i}") for i in range(400))
+    assert 0.35 <= admitted / 400 <= 0.65
+
+
+# -- TTL ceiling -------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ttl=st.floats(min_value=0.01, max_value=10.0),
+    stored_at=st.floats(min_value=0.0, max_value=100.0),
+    age=st.floats(min_value=0.0, max_value=30.0),
+    key=keys,
+)
+def test_cached_reads_never_outlive_the_ttl(ttl, stored_at, age, key):
+    hc = ProbabilisticHotCache(seed=1, ttl_s=ttl)
+    hc.store(key, b"v", 3, now_s=stored_at)
+    now = stored_at + age
+    # Branch on the age the cache actually computes: float cancellation
+    # in (stored_at + age) - stored_at can nudge a boundary case.
+    if now - stored_at < ttl:
+        assert hc.lookup(key, now_s=now) == (b"v", 3)
+    else:
+        assert hc.lookup(key, now_s=now) is None
+        assert len(hc) == 0  # the corpse was pruned, not just hidden
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ttl=st.floats(min_value=0.01, max_value=10.0),
+    times=st.lists(
+        st.floats(min_value=0.0, max_value=50.0), min_size=1, max_size=8
+    ),
+    key=keys,
+)
+def test_restores_reset_the_clock_but_never_extend_a_dead_entry(ttl, times, key):
+    """After any sequence of stores, a lookup is live iff it lands
+    within ttl of the *latest* store."""
+    hc = ProbabilisticHotCache(seed=1, ttl_s=ttl)
+    for t in sorted(times):  # the sim clock only moves forward
+        hc.store(key, b"v", 0, now_s=t)
+    latest = max(times)
+    mid = latest + ttl / 2
+    if mid - latest < ttl:  # same float-cancellation guard as above
+        assert hc.lookup(key, now_s=mid) is not None
+    end = latest + ttl
+    if end - latest >= ttl:
+        assert hc.lookup(key, now_s=end) is None
+
+
+# -- write-through -----------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    ttl=st.floats(min_value=0.1, max_value=10.0),
+    stored_at=st.floats(min_value=0.0, max_value=100.0),
+    probe=st.floats(min_value=0.0, max_value=0.99),
+    key=keys,
+)
+def test_invalidation_wins_even_inside_the_ttl(ttl, stored_at, probe, key):
+    hc = ProbabilisticHotCache(seed=1, ttl_s=ttl)
+    hc.store(key, b"old", 0, now_s=stored_at)
+    hc.invalidate(key)
+    # Probe strictly inside the would-be-live window: still gone.
+    assert hc.lookup(key, now_s=stored_at + probe * ttl) is None
+
+
+# -- gutter containment ------------------------------------------------------
+
+
+def rings(n_primaries, n_gutter):
+    primary = HashRing([f"server{i}" for i in range(n_primaries)])
+    gutter = HashRing(
+        [f"server{n_primaries + i}" for i in range(n_gutter)]
+    )
+    return GutterRouter(primary, gutter)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_primaries=st.integers(min_value=2, max_value=6),
+    n_gutter=st.integers(min_value=1, max_value=3),
+    key=keys,
+)
+def test_gutter_servers_never_serve_steady_state(n_primaries, n_gutter, key):
+    router = rings(n_primaries, n_gutter)
+    owner = router.server_for(key)
+    assert owner == router.primary.server_for(key)
+    assert not router.is_gutter(owner)
+    assert router.absorbed == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_primaries=st.integers(min_value=2, max_value=6),
+    n_gutter=st.integers(min_value=1, max_value=3),
+    victim=st.integers(min_value=0, max_value=5),
+    key=keys,
+)
+def test_avoided_keys_route_to_gutter_never_to_surviving_primaries(
+    n_primaries, n_gutter, victim, key
+):
+    router = rings(n_primaries, n_gutter)
+    owner = router.primary.server_for(key)
+    avoid = {f"server{victim % n_primaries}"}
+    routed = router.server_for(key, avoid=avoid)
+    if owner in avoid:
+        assert router.is_gutter(routed)
+        assert router.absorbed == 1
+    else:
+        assert routed == owner
+        assert router.absorbed == 0

@@ -1,0 +1,77 @@
+"""ProbabilisticHotCache: seeded admission, sim-clock TTL, invalidation."""
+
+import pytest
+
+from repro.memcached.serving import ProbabilisticHotCache
+
+
+def test_admission_is_a_pure_function_of_seed_and_key():
+    a = ProbabilisticHotCache(seed=1, admission_rate=0.5)
+    b = ProbabilisticHotCache(seed=1, admission_rate=0.5)
+    keys = [f"key-{i}" for i in range(200)]
+    assert [a.admit(k) for k in keys] == [b.admit(k) for k in keys]
+    # A different seed admits a different subset (the point of per-client
+    # seeds: the pool collectively covers the hot head).
+    c = ProbabilisticHotCache(seed=2, admission_rate=0.5)
+    assert [a.admit(k) for k in keys] != [c.admit(k) for k in keys]
+
+
+def test_admission_rate_extremes_and_empirical_fraction():
+    keys = [f"key-{i}" for i in range(1000)]
+    none = ProbabilisticHotCache(seed=3, admission_rate=0.0)
+    assert not any(none.admit(k) for k in keys)
+    everything = ProbabilisticHotCache(seed=3, admission_rate=1.0)
+    assert all(everything.admit(k) for k in keys)
+    quarter = ProbabilisticHotCache(seed=3, admission_rate=0.25)
+    admitted = sum(quarter.admit(k) for k in keys) / len(keys)
+    assert 0.18 <= admitted <= 0.32
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        ProbabilisticHotCache(seed=1, admission_rate=1.5)
+    with pytest.raises(ValueError):
+        ProbabilisticHotCache(seed=1, admission_rate=-0.1)
+    with pytest.raises(ValueError):
+        ProbabilisticHotCache(seed=1, ttl_s=0)
+
+
+def test_lookup_respects_the_ttl_and_drops_corpses():
+    hc = ProbabilisticHotCache(seed=1, ttl_s=0.5)
+    hc.store("k", b"v", 7, now_s=10.0)
+    assert hc.lookup("k", now_s=10.4) == (b"v", 7)
+    assert len(hc) == 1
+    # At exactly ttl_s of age the entry is dead, and the dict is pruned.
+    assert hc.lookup("k", now_s=10.5) is None
+    assert len(hc) == 0
+    assert (hc.hits, hc.misses) == (1, 1)
+
+
+def test_cached_reads_never_outlive_writes():
+    hc = ProbabilisticHotCache(seed=1, ttl_s=1.0)
+    hc.store("k", b"old", 0, now_s=0.0)
+    hc.invalidate("k")
+    assert hc.lookup("k", now_s=0.1) is None
+    assert hc.invalidations == 1
+    # Invalidating an absent key is a no-op, not a count.
+    hc.invalidate("ghost")
+    assert hc.invalidations == 1
+
+
+def test_invalidate_all_flushes_the_local_tier():
+    hc = ProbabilisticHotCache(seed=1, ttl_s=5.0)
+    for i in range(4):
+        hc.store(f"k{i}", b"v", 0, now_s=0.0)
+    hc.invalidate_all()
+    assert len(hc) == 0
+    assert hc.invalidations == 4
+    assert all(hc.lookup(f"k{i}", now_s=0.0) is None for i in range(4))
+
+
+def test_store_copies_the_value():
+    hc = ProbabilisticHotCache(seed=1, ttl_s=5.0)
+    value = bytearray(b"mutable")
+    hc.store("k", bytes(value), 0, now_s=0.0)
+    value[0:1] = b"X"
+    assert hc.lookup("k", now_s=0.1)[0] == b"mutable"
+    assert hc.stores == 1

@@ -1,0 +1,115 @@
+"""Observer-effect guarantees for the serving plane.
+
+Three neutrality claims:
+
+- with the features off, nothing changes: the pre-existing golden
+  figures are re-checked bit-for-bit by ``tests/golden`` and
+  ``tests/telemetry/test_observer_effect.py`` (this file does not
+  duplicate those sweeps);
+- the *instrumentation* around the features is invisible: history
+  recording (the lease-annotation plumbing) and a never-admitting hot
+  cache both leave the simulated event stream bit-identical;
+- with the features on, telemetry still composes: client spans
+  (including ``client.getl``) telescope to the root duration, and
+  hot-cache hits produce no span and consume no simulated time.
+"""
+
+from repro.check.history import recorder
+from repro.cluster import CLUSTER_B, Cluster
+from repro.memcached.serving import ProbabilisticHotCache
+from repro.sanitize import capture
+from repro.telemetry import tracer, tracing
+from repro.telemetry.breakdown import decompose_trace, spans_by_trace
+
+
+def run_serving_ops(hot_cache=None):
+    """A fixed lease+get script; returns the capture digest."""
+    with capture() as digest:
+        cluster = Cluster(CLUSTER_B, n_client_nodes=1, n_servers=2)
+        cluster.start_server()
+        client = cluster.sharded_client("UCR-IB", hot_cache=hot_cache)
+
+        def scenario():
+            for i in range(10):
+                yield from client.set(f"on-{i}", b"v", exptime=1)
+            for i in range(10):
+                yield from client.get(f"on-{i}")
+            got = yield from client.get_lease("on-miss")
+            assert got[0] == "won"
+            yield from client.set_with_lease("on-miss", b"filled", got[2])
+            yield from client.get("on-miss")
+
+        p = cluster.sim.process(scenario())
+        cluster.sim.run()
+        assert p.processed
+    return digest
+
+
+def test_never_admitting_hot_cache_is_event_invisible():
+    """admission_rate=0 attaches the full hot-cache code path (lookup,
+    write-through invalidation) but admits nothing; the simulated event
+    stream must be bit-identical to running without a cache at all."""
+    plain = run_serving_ops(hot_cache=None)
+    cached = run_serving_ops(
+        hot_cache=ProbabilisticHotCache(seed=1, admission_rate=0.0)
+    )
+    assert plain.events == cached.events
+    assert plain.hexdigest() == cached.hexdigest()
+
+
+def test_history_recording_is_event_invisible():
+    """The annotation plumbing (OpRecord capture around every client op,
+    lease/stale/cached notes) is host-side bookkeeping only."""
+    silent = run_serving_ops()
+    with recorder.recording():
+        observed = run_serving_ops()
+        n_records = len(recorder.records)
+    assert n_records > 0  # the recorder actually recorded
+    assert silent.events == observed.events
+    assert silent.hexdigest() == observed.hexdigest()
+
+
+def test_featured_client_spans_still_telescope():
+    """With leases + a greedy hot cache on, traced client ops decompose
+    into per-layer times that sum to the root span's duration."""
+    with tracing():
+        cluster = Cluster(CLUSTER_B, n_client_nodes=1, n_servers=2)
+        cluster.start_server()
+        hc = ProbabilisticHotCache(seed=1, ttl_s=60.0, admission_rate=1.0)
+        client = cluster.sharded_client("UCR-IB", hot_cache=hc)
+        hot_hit = {}
+
+        def scenario():
+            yield from client.set("tele-k", b"v")
+            yield from client.get("tele-k")  # wire read, admitted
+            before = (len(tracer.spans), cluster.sim.now)
+            got = yield from client.get("tele-k")  # hot-cache hit
+            hot_hit["spans"] = len(tracer.spans) - before[0]
+            hot_hit["elapsed"] = cluster.sim.now - before[1]
+            assert got == b"v"
+            lease = yield from client.get_lease("tele-miss")
+            assert lease[0] == "won"
+            yield from client.set_with_lease("tele-miss", b"w", lease[2])
+
+        p = cluster.sim.process(scenario())
+        cluster.sim.run()
+        assert p.processed
+        spans = tracer.finished_spans()
+
+    # The local hit cost nothing observable: no span, no simulated time.
+    assert hot_hit == {"spans": 0, "elapsed": 0}
+    names = {s.name for s in spans}
+    assert "client.getl" in names and "client.set" in names
+    client_roots = 0
+    for trace_spans in spans_by_trace(spans).values():
+        finished_roots = [
+            s for s in trace_spans if s.parent_id is None and s.end_us is not None
+        ]
+        if not any(r.layer == "client" for r in finished_roots):
+            continue
+        client_roots += 1
+        root, layers = decompose_trace(trace_spans)
+        assert abs(sum(layers.values()) - root.duration_us) < 1e-6, (
+            root.name, layers,
+        )
+    assert client_roots >= 4  # set, wire get, getl, lease fill
